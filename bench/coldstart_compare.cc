@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cold-start comparison (§2.1): what happens when a function's
+ * concurrency suddenly doubles?
+ *
+ * NightCore must provision new worker processes (0.8 ms each, §6.2);
+ * Jord's "cold start" is a PD + stack/heap allocation in tens of
+ * nanoseconds, so a load spike passes through without a latency cliff.
+ * Both systems are driven from a cold start (no warmup window) with a
+ * single pre-provisioned worker per function for NightCore.
+ */
+
+#include <cstdlib>
+
+#include "bench/common.hh"
+#include "stats/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace jord;
+using runtime::RunResult;
+using runtime::SystemKind;
+using runtime::WorkerConfig;
+using runtime::WorkerServer;
+
+int
+main()
+{
+    std::uint64_t requests = 6000;
+    if (const char *env = std::getenv("JORD_COLDSTART_REQUESTS"))
+        requests = std::strtoull(env, nullptr, 10);
+
+    bench::banner("Cold start: first-burst latency, Jord vs NightCore");
+
+    workloads::Workload w = workloads::makeHotel();
+
+    stats::Table table({"System", "Provisioned", "P50 (us)", "P99 (us)",
+                        "Max (us)"});
+    struct Cfg {
+        SystemKind system;
+        unsigned provisioned;
+    };
+    const Cfg cfgs[] = {
+        {SystemKind::Jord, 0},
+        {SystemKind::NightCore, 1},
+        {SystemKind::NightCore, 64},
+    };
+    for (const Cfg &c : cfgs) {
+        WorkerConfig wc;
+        wc.system = c.system;
+        if (c.provisioned)
+            wc.provisioning.preProvisioned = c.provisioned;
+        WorkerServer worker(wc, w.registry);
+        // No warmup exclusion: the cold start is the measurement.
+        RunResult res = worker.run(2.0, requests, w.mix, 0.0);
+        table.addRow(
+            {systemName(c.system),
+             c.system == SystemKind::Jord
+                 ? std::string("n/a")
+                 : stats::Table::cell(std::uint64_t(c.provisioned)),
+             stats::Table::cell(res.latencyUs.p50(), "%.1f"),
+             stats::Table::cell(res.latencyUs.p99(), "%.1f"),
+             stats::Table::cell(res.latencyUs.max(), "%.1f")});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Under-provisioned NightCore pays ~0.8 ms per worker it\n"
+                "must spin up during the burst; Jord allocates a PD and\n"
+                "stack/heap per invocation (~tens of ns) and shows no\n"
+                "cold-start cliff (§2.1, §6.2).\n");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: a standalone Jord stack
+ * (machine + coherence + UAT + PrivLib) for microbenchmarks, and output
+ * formatting conventions.
+ */
+
+#ifndef JORD_BENCH_COMMON_HH
+#define JORD_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "mem/coherence.hh"
+#include "noc/mesh.hh"
+#include "os/kernel.hh"
+#include "privlib/privlib.hh"
+#include "uat/btree_table.hh"
+#include "uat/uat_system.hh"
+
+namespace jord::bench {
+
+/** A self-contained Jord hardware/software stack on one machine. */
+struct Stack {
+    sim::MachineConfig machine;
+    std::unique_ptr<noc::Mesh> mesh;
+    std::unique_ptr<mem::CoherenceEngine> coherence;
+    std::unique_ptr<uat::VmaTableBase> table;
+    std::unique_ptr<uat::UatSystem> uat;
+    std::unique_ptr<os::Kernel> kernel;
+    std::unique_ptr<privlib::PrivLib> privlib;
+
+    explicit Stack(sim::MachineConfig cfg, bool btree = false)
+        : machine(cfg)
+    {
+        mesh = std::make_unique<noc::Mesh>(machine);
+        coherence = std::make_unique<mem::CoherenceEngine>(machine,
+                                                           *mesh);
+        uat::VaEncoding encoding;
+        if (btree)
+            table = std::make_unique<uat::BTreeVmaTable>(encoding);
+        else
+            table = std::make_unique<uat::PlainListVmaTable>(encoding);
+        uat = std::make_unique<uat::UatSystem>(machine, *coherence,
+                                               *table);
+        kernel = std::make_unique<os::Kernel>(machine);
+        privlib = std::make_unique<privlib::PrivLib>(
+            machine, *coherence, *uat, *table, *kernel);
+    }
+};
+
+/** Print a section banner matching the paper's table/figure naming. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace jord::bench
+
+#endif // JORD_BENCH_COMMON_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the library's building blocks:
+ * host-side throughput of the simulation primitives (event queue,
+ * coherence engine, VLB, tables) and modelled latencies of the PrivLib
+ * operations. Useful to keep the simulator fast enough for the Fig. 9
+ * load sweeps.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/common.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "stats/sampler.hh"
+#include "vm/page_table.hh"
+
+using namespace jord;
+
+namespace {
+
+void
+BM_EventQueueScheduleDispatch(benchmark::State &state)
+{
+    sim::EventQueue queue;
+    std::uint64_t tick = 0;
+    for (auto _ : state) {
+        queue.schedule(++tick, [] {});
+        queue.step();
+    }
+    benchmark::DoNotOptimize(queue.curTick());
+}
+BENCHMARK(BM_EventQueueScheduleDispatch);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    sim::Rng rng(1);
+    std::uint64_t acc = 0;
+    for (auto _ : state)
+        acc ^= rng.next();
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_RngExponential(benchmark::State &state)
+{
+    sim::Rng rng(1);
+    double acc = 0;
+    for (auto _ : state)
+        acc += rng.exponential(250.0);
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngExponential);
+
+void
+BM_SamplerRecord(benchmark::State &state)
+{
+    stats::Sampler sampler(1 << 16);
+    double v = 0;
+    for (auto _ : state)
+        sampler.record(v += 0.5);
+    benchmark::DoNotOptimize(sampler.count());
+}
+BENCHMARK(BM_SamplerRecord);
+
+void
+BM_CoherenceL1Hit(benchmark::State &state)
+{
+    bench::Stack stack(sim::MachineConfig::isca25Default());
+    stack.coherence->read(0, 0x1000);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stack.coherence->read(0, 0x1000));
+}
+BENCHMARK(BM_CoherenceL1Hit);
+
+void
+BM_CoherencePingPong(benchmark::State &state)
+{
+    bench::Stack stack(sim::MachineConfig::isca25Default());
+    unsigned core = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            stack.coherence->write(core, 0x2000));
+        core ^= 17; // bounce between two cores
+    }
+}
+BENCHMARK(BM_CoherencePingPong);
+
+void
+BM_UatVlbHit(benchmark::State &state)
+{
+    bench::Stack stack(sim::MachineConfig::isca25Default());
+    privlib::PrivResult vma =
+        stack.privlib->mmap(0, 4096, uat::Perm::rw());
+    stack.uat->dataAccess(0, vma.value, uat::Perm::r());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            stack.uat->dataAccess(0, vma.value, uat::Perm::r()));
+    }
+}
+BENCHMARK(BM_UatVlbHit);
+
+void
+BM_UatVtwWalk(benchmark::State &state)
+{
+    bench::Stack stack(sim::MachineConfig::isca25Default());
+    privlib::PrivResult vma =
+        stack.privlib->mmap(0, 4096, uat::Perm::rw());
+    for (auto _ : state) {
+        stack.uat->dvlb(0).invalidateAll();
+        benchmark::DoNotOptimize(
+            stack.uat->dataAccess(0, vma.value, uat::Perm::r()));
+    }
+}
+BENCHMARK(BM_UatVtwWalk);
+
+void
+BM_PrivlibMmapMunmap(benchmark::State &state)
+{
+    bench::Stack stack(sim::MachineConfig::isca25Default());
+    for (auto _ : state) {
+        privlib::PrivResult res =
+            stack.privlib->mmap(0, 4096, uat::Perm::rw());
+        stack.privlib->munmap(0, res.value, 4096);
+    }
+}
+BENCHMARK(BM_PrivlibMmapMunmap);
+
+void
+BM_PrivlibPdLifecycle(benchmark::State &state)
+{
+    bench::Stack stack(sim::MachineConfig::isca25Default());
+    for (auto _ : state) {
+        privlib::PrivResult pd = stack.privlib->cget(0);
+        stack.privlib->ccall(0, static_cast<uat::PdId>(pd.value));
+        stack.privlib->cexit(0);
+        stack.privlib->cput(0, static_cast<uat::PdId>(pd.value));
+    }
+}
+BENCHMARK(BM_PrivlibPdLifecycle);
+
+void
+BM_BTreeInsertRemove(benchmark::State &state)
+{
+    uat::VaEncoding enc;
+    uat::BTreeVmaTable table(enc);
+    for (std::uint64_t i = 0; i < 1000; ++i)
+        table.noteInsert(enc.encode(0, i));
+    std::uint64_t idx = 5000;
+    for (auto _ : state) {
+        table.noteInsert(enc.encode(0, idx % 30000 + 2000));
+        table.noteRemove(enc.encode(0, (idx - 1) % 30000 + 2000));
+        ++idx;
+    }
+}
+BENCHMARK(BM_BTreeInsertRemove);
+
+void
+BM_PageTableTranslate(benchmark::State &state)
+{
+    vm::PageTable table;
+    table.map(0x7f00'0000'0000ull, 0x1000'0000, 64 * vm::kPageBytes,
+              vm::PagePerms::rw());
+    std::uint64_t page = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.translate(
+            0x7f00'0000'0000ull + (page++ % 64) * vm::kPageBytes));
+    }
+}
+BENCHMARK(BM_PageTableTranslate);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The §2.2 motivation, quantified: memory-management operations through
+ * the OS-managed page-based virtual memory (syscall + page-table walk +
+ * IPI shootdown) versus Jord's user-level UAT path, on the same
+ * modelled machine.
+ *
+ * The paper argues that OS-mediated VMA permission updates take "tens
+ * to even thousands of microseconds" while Jord needs nanoseconds —
+ * this harness regenerates that comparison table.
+ */
+
+#include "bench/common.hh"
+#include "sim/logging.hh"
+#include "stats/table.hh"
+#include "vm/posix_vm.hh"
+
+using namespace jord;
+
+namespace {
+
+double
+toNs(sim::Cycles cycles)
+{
+    return sim::cyclesToNs(cycles);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Motivation (§2.2): OS page-based VM vs Jord UAT");
+
+    sim::MachineConfig cfg = sim::MachineConfig::isca25Default();
+    bench::Stack jord_stack(cfg);
+    noc::Mesh mesh(cfg);
+    mem::CoherenceEngine coherence(cfg, mesh);
+    vm::PosixVm posix(cfg, coherence);
+
+    constexpr unsigned kIters = 300;
+    constexpr std::uint64_t kBytes = 16 << 10;
+
+    // --- OS path -------------------------------------------------------
+    sim::Cycles os_mmap = 0, os_mprotect = 0, os_munmap = 0;
+    for (unsigned i = 0; i < kIters; ++i) {
+        vm::VmOpResult m = posix.mmap(0, kBytes, vm::PagePerms::rw());
+        if (!m.ok)
+            sim::fatal("posix mmap failed");
+        vm::VmOpResult p = posix.mprotect(0, m.addr, kBytes,
+                                          vm::PagePerms::ro());
+        vm::VmOpResult u = posix.munmap(0, m.addr, kBytes);
+        os_mmap += m.latency;
+        os_mprotect += p.latency;
+        os_munmap += u.latency;
+    }
+
+    // --- Jord path ------------------------------------------------------
+    privlib::PrivLib &pl = *jord_stack.privlib;
+    sim::Cycles jd_mmap = 0, jd_mprotect = 0, jd_munmap = 0;
+    for (unsigned i = 0; i < kIters + 32; ++i) {
+        privlib::PrivResult m = pl.mmap(0, kBytes, uat::Perm::rw());
+        privlib::PrivResult p =
+            pl.mprotect(0, m.value, kBytes, uat::Perm::r());
+        privlib::PrivResult u = pl.munmap(0, m.value, kBytes);
+        if (i < 32)
+            continue; // warm the free lists as a real worker would
+        jd_mmap += m.latency;
+        jd_mprotect += p.latency;
+        jd_munmap += u.latency;
+    }
+
+    stats::Table table({"Operation (16 KB)", "OS page-based (ns)",
+                        "Jord UAT (ns)", "Speedup"});
+    struct Row {
+        const char *name;
+        double os_ns;
+        double jord_ns;
+    };
+    const Row rows[] = {
+        {"mmap", toNs(os_mmap / kIters), toNs(jd_mmap / kIters)},
+        {"mprotect", toNs(os_mprotect / kIters),
+         toNs(jd_mprotect / kIters)},
+        {"munmap", toNs(os_munmap / kIters), toNs(jd_munmap / kIters)},
+    };
+    for (const Row &row : rows) {
+        table.addRow({row.name, stats::Table::cell(row.os_ns, "%.0f"),
+                      stats::Table::cell(row.jord_ns, "%.0f"),
+                      stats::Table::cell(row.os_ns / row.jord_ns,
+                                         "%.0fx")});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Permission changes through the OS pay a syscall, leaf\n"
+                "PTE rewrites, and an IPI shootdown to all %u cores\n"
+                "(microseconds); Jord's PrivLib runs entirely at user\n"
+                "level in tens of nanoseconds (§2.2, Table 4).\n",
+                cfg.numCores);
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Capacity planning: how many worker cores does a target SLO need?
+ *
+ * A downstream operator's question: "my social-network workload must
+ * hold P99 <= 250 us — what throughput can machines of different sizes
+ * sustain?" The example sweeps machine scales with the methodology of
+ * §5 (SLO = 10x the minimal-load service time) and prints throughput
+ * under SLO per configuration, including the per-socket-orchestrator
+ * deployment the paper recommends for large machines (§6.3).
+ */
+
+#include <cstdio>
+
+#include "workloads/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace jord;
+using runtime::SystemKind;
+
+int
+main()
+{
+    workloads::Workload w = workloads::makeSocial();
+
+    struct Machine {
+        const char *name;
+        unsigned cores;
+        unsigned sockets;
+        unsigned orchs;
+    };
+    const Machine machines[] = {
+        {"16-core / 1 socket", 16, 1, 2},
+        {"32-core / 1 socket", 32, 1, 4},
+        {"64-core / 1 socket", 64, 1, 8},
+        {"128-core / 2 sockets", 128, 2, 8},
+    };
+
+    std::printf("capacity planning for %s (Jord, SLO = 10x min-load "
+                "service)\n\n", w.name.c_str());
+    std::printf("%-22s %14s %14s %12s\n", "machine", "SLO (us)",
+                "tput (MRPS)", "KRPS/core");
+
+    for (const Machine &m : machines) {
+        workloads::SweepConfig cfg;
+        cfg.requestsPerPoint = 8000;
+        cfg.worker.machine = sim::MachineConfig::scaled(m.cores,
+                                                        m.sockets);
+        cfg.worker.numOrchestrators = m.orchs;
+
+        double slo_us = workloads::measureSloUs(w, cfg);
+        // Scale the load range with machine size.
+        double hi = 0.05 * m.cores;
+        auto loads = workloads::loadSeries(hi / 20, hi, 10);
+        workloads::SweepResult res = workloads::sweepLoad(
+            w, SystemKind::Jord, loads, slo_us, cfg);
+
+        std::printf("%-22s %14.1f %14.2f %12.1f\n", m.name, slo_us,
+                    res.throughputUnderSlo,
+                    1000.0 * res.throughputUnderSlo / m.cores);
+    }
+
+    std::printf("\nThroughput scales close to linearly with cores as\n"
+                "long as each socket keeps its own orchestrators; the\n"
+                "per-core rate is the planning constant.\n");
+    return 0;
+}

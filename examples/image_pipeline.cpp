@@ -1,0 +1,97 @@
+/**
+ * @file
+ * A media-processing microservice: the kind of latency-critical nested
+ * workflow the paper's introduction motivates.
+ *
+ * An upload request fans out:
+ *
+ *     HandleUpload
+ *       |- Decode            (sync: must finish first)
+ *       |- Resize x3         (async: thumbnail, preview, full)
+ *       |- StoreMetadata     (async)
+ *       `- [join] Encode     (runs after all children return)
+ *
+ * The example runs the same pipeline on Jord and on the enhanced
+ * NightCore baseline and prints the latency difference that zero-copy
+ * ArgBufs + nanosecond isolation buy over OS pipes.
+ */
+
+#include <cstdio>
+
+#include "runtime/worker.hh"
+
+using namespace jord;
+using runtime::CallSpec;
+using runtime::FunctionRegistry;
+using runtime::FunctionSpec;
+using runtime::RunResult;
+using runtime::SystemKind;
+using runtime::WorkerConfig;
+using runtime::WorkerServer;
+
+namespace {
+
+FunctionRegistry
+buildPipeline(runtime::FunctionId &entry)
+{
+    FunctionRegistry reg;
+    auto fn = [&reg](const char *name, double us,
+                     std::vector<CallSpec> calls = {}) {
+        FunctionSpec spec;
+        spec.name = name;
+        spec.execMeanUs = us;
+        spec.execCv = 0.25;
+        spec.calls = std::move(calls);
+        return reg.add(std::move(spec));
+    };
+
+    auto decode = fn("Decode", 2.0);
+    auto resize = fn("Resize", 1.2);
+    auto metadata = fn("StoreMetadata", 0.6);
+
+    // Resized images travel by pointer in 2 KB ArgBufs: zero-copy on
+    // Jord, two pipe copies each on NightCore.
+    entry = fn("HandleUpload", 1.0,
+               {CallSpec{decode, 2048, /*sync=*/true},
+                CallSpec{resize, 2048, false},
+                CallSpec{resize, 2048, false},
+                CallSpec{resize, 2048, false},
+                CallSpec{metadata, 512, false}});
+    return reg;
+}
+
+} // namespace
+
+int
+main()
+{
+    runtime::FunctionId entry = 0;
+    FunctionRegistry registry = buildPipeline(entry);
+
+    std::printf("image pipeline: HandleUpload -> Decode(sync) + "
+                "3x Resize + StoreMetadata (async)\n\n");
+    std::printf("%-10s %10s %10s %10s %12s\n", "system", "mean(us)",
+                "p99(us)", "MRPS", "overhead/inv");
+
+    for (SystemKind system : {SystemKind::Jord, SystemKind::JordNI,
+                              SystemKind::NightCore}) {
+        WorkerConfig cfg;
+        cfg.system = system;
+        WorkerServer worker(cfg, registry);
+        RunResult res = worker.run(0.8, 20000, {{entry, 1.0}});
+
+        double overhead_ns =
+            sim::cyclesToNs(static_cast<double>(
+                res.totals.isolation + res.totals.pipe)) /
+            static_cast<double>(res.invocations);
+        std::printf("%-10s %10.2f %10.2f %10.2f %9.0f ns\n",
+                    systemName(system), res.latencyUs.mean(),
+                    res.latencyUs.p99(), res.achievedMrps,
+                    overhead_ns);
+    }
+
+    std::printf("\nJord keeps the 6-invocation pipeline within a few "
+                "microseconds;\nNightCore pays two pipe traversals per "
+                "hop (§2.1).\n");
+    return 0;
+}

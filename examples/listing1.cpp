@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The paper's Listing 1, expressed with the AppBuilder API.
+ *
+ * The synthetic SrcFunc reads its inputs, populates two output
+ * ArgBufs, invokes Tgt1 asynchronously and Tgt2 synchronously, waits
+ * on the async cookie, allocates a scratch VMA, and produces the
+ * output:
+ *
+ *     int SrcFunc(SrcReq *req) {
+ *         jord::argBuf<Tgt1Req> r1;          // own VMA per ArgBuf
+ *         jord::argBuf<Tgt2Req> r2;
+ *         r1->in = pre(req->in1);            // compute
+ *         r2->in = pre(req->in2);
+ *         int c = jord::async(Tgt1, r1);     // async -> cookie
+ *         if ((r = jord::call(Tgt2, r2)))    // sync, suspends
+ *             return r;
+ *         if ((r = jord::wait(c)))           // join the cookie
+ *             return r;
+ *         void *buf = mmap(0, 0x1000, ...);  // dynamic VMA
+ *         req->out = post(buf, r1->out, r2->out);
+ *         munmap(buf, 0x1000);
+ *         return 0;
+ *     }
+ */
+
+#include <cstdio>
+
+#include "runtime/builder.hh"
+
+using namespace jord;
+using runtime::App;
+using runtime::AppBuilder;
+using runtime::RunResult;
+using runtime::WorkerConfig;
+using runtime::WorkerServer;
+
+int
+main()
+{
+    AppBuilder app;
+
+    app.function("SrcFunc")
+        .compute(0.25)          // pre(req->in1), pre(req->in2)
+        .async("Tgt1", 256)     // int c = jord::async(Tgt1, r1)
+        .call("Tgt2", 256)      // r = jord::call(Tgt2, r2)
+        .compute(0.35)          // jord::wait(c); mmap; post(...); munmap
+        .argBytes(512);
+    app.function("Tgt1").compute(0.50);
+    app.function("Tgt2").compute(0.70);
+    app.entry("SrcFunc", 1.0);
+
+    App built = app.build();
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, built.registry);
+    RunResult res = worker.run(0.5, 20000, built.mix);
+
+    std::printf("Listing 1 on a %u-core Jord worker:\n",
+                cfg.machine.numCores);
+    std::printf("  SrcFunc service  %.2f us mean / %.2f us p99\n",
+                res.perFunctionServiceUs[0].mean(),
+                res.perFunctionServiceUs[0].p99());
+    std::printf("  Tgt1 service     %.2f us mean\n",
+                res.perFunctionServiceUs[1].mean());
+    std::printf("  Tgt2 service     %.2f us mean\n",
+                res.perFunctionServiceUs[2].mean());
+    std::printf("  request latency  %.2f us mean / %.2f us p99\n",
+                res.latencyUs.mean(), res.latencyUs.p99());
+    std::printf("\nSrcFunc's service time covers its own ~0.6 us of\n"
+                "compute plus the synchronous Tgt2 call and the join\n"
+                "of the asynchronous Tgt1 — all inside one address\n"
+                "space, with the ArgBufs never copied.\n");
+    return 0;
+}

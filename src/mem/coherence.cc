@@ -1,0 +1,315 @@
+#include "mem/coherence.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace jord::mem {
+
+using sim::Addr;
+using sim::Cycles;
+
+CoherenceEngine::CoherenceEngine(const sim::MachineConfig &cfg,
+                                 const noc::Mesh &mesh)
+    : cfg_(cfg), mesh_(mesh), l1s_(cfg.numCores)
+{
+}
+
+void
+CoherenceEngine::touchL1(unsigned core, Addr addr)
+{
+    CoreL1 &l1 = l1s_[core];
+    auto it = l1.map.find(addr);
+    if (it != l1.map.end()) {
+        l1.lru.splice(l1.lru.begin(), l1.lru, it->second);
+        return;
+    }
+    l1.lru.push_front(addr);
+    l1.map[addr] = l1.lru.begin();
+    while (l1.map.size() > cfg_.l1Lines) {
+        Addr victim = l1.lru.back();
+        l1.lru.pop_back();
+        l1.map.erase(victim);
+        evictL1(core, victim);
+    }
+}
+
+void
+CoherenceEngine::dropFromL1(unsigned core, Addr addr)
+{
+    CoreL1 &l1 = l1s_[core];
+    auto it = l1.map.find(addr);
+    if (it == l1.map.end())
+        return;
+    l1.lru.erase(it->second);
+    l1.map.erase(it);
+}
+
+CoherenceEngine::Line &
+CoherenceEngine::lineFor(Addr addr)
+{
+    return lines_[sim::blockAlign(addr)];
+}
+
+CacheState
+CoherenceEngine::stateOf(Addr addr) const
+{
+    auto it = lines_.find(sim::blockAlign(addr));
+    return it == lines_.end() ? CacheState::Invalid : it->second.state;
+}
+
+bool
+CoherenceEngine::cachedIn(unsigned core, Addr addr) const
+{
+    auto it = lines_.find(sim::blockAlign(addr));
+    return it != lines_.end() && it->second.sharers.test(core);
+}
+
+CoreMask
+CoherenceEngine::sharersOf(Addr addr) const
+{
+    auto it = lines_.find(sim::blockAlign(addr));
+    return it == lines_.end() ? CoreMask{} : it->second.sharers;
+}
+
+Cycles
+CoherenceEngine::invalidateSharers(unsigned home, Line &line,
+                                   Addr addr_of_line, unsigned except,
+                                   unsigned &messages)
+{
+    Cycles worst = 0;
+    line.sharers.forEach([&](unsigned sharer) {
+        if (sharer == except)
+            return;
+        // Invalidate request out + ack back, overlapped across sharers:
+        // the shootdown completes when the furthest core acks (§6.3).
+        Cycles rt = mesh_.roundTrip(home, sharer, noc::MsgKind::Control);
+        worst = std::max(worst, rt);
+        messages += 2;
+        ++stats_.invalidations;
+        dropFromL1(sharer, addr_of_line);
+    });
+    CoreMask keep;
+    if (line.sharers.test(except))
+        keep.set(except);
+    line.sharers = keep;
+    return worst;
+}
+
+Access
+CoherenceEngine::read(unsigned core, Addr addr, bool tbit)
+{
+    addr = sim::blockAlign(addr);
+    ++stats_.reads;
+    if (tbit)
+        ++stats_.tbitReads;
+    Line &line = lineFor(addr);
+    Access acc;
+
+    if (line.state != CacheState::Invalid && line.sharers.test(core)) {
+        // L1 hit in any valid state.
+        acc.l1Hit = true;
+        acc.latency = cfg_.l1HitCycles;
+        ++stats_.l1Hits;
+        touchL1(core, addr);
+        return acc;
+    }
+
+    unsigned home = mesh_.homeSlice(addr, core);
+    Cycles lat = cfg_.l1HitCycles; // detect the miss
+    lat += mesh_.latency(core, home, noc::MsgKind::Control);
+    lat += cfg_.llcHitCycles;
+    acc.messages = 1;
+
+    if (line.state == CacheState::Modified ||
+        line.state == CacheState::Exclusive) {
+        // Fetch from the owner; the owner forwards data to the requester
+        // and downgrades to Shared (writeback folded into the forward).
+        unsigned owner = line.owner;
+        lat += mesh_.latency(home, owner, noc::MsgKind::Control);
+        lat += mesh_.latency(owner, core, noc::MsgKind::Data);
+        acc.messages += 2;
+        line.inLlc = true;
+        line.state = CacheState::Shared;
+        line.sharers.set(core);
+        acc.llcHit = true;
+        ++stats_.llcHits;
+    } else if (line.inLlc || line.state == CacheState::Shared) {
+        lat += mesh_.latency(home, core, noc::MsgKind::Data);
+        acc.messages += 1;
+        acc.llcHit = true;
+        ++stats_.llcHits;
+        if (line.state == CacheState::Invalid || line.sharers.none()) {
+            line.state = CacheState::Exclusive;
+            line.owner = core;
+        } else {
+            line.state = CacheState::Shared;
+        }
+        line.sharers.set(core);
+    } else {
+        // Cold: fill from DRAM through the home slice.
+        lat += cfg_.dramCycles;
+        lat += mesh_.latency(home, core, noc::MsgKind::Data);
+        acc.messages += 1;
+        ++stats_.dramFills;
+        line.inLlc = true;
+        line.state = CacheState::Exclusive;
+        line.owner = core;
+        line.sharers.set(core);
+    }
+
+    touchL1(core, addr);
+
+    if (tbit && observer_)
+        observer_->translationRead(core, addr);
+
+    acc.latency = lat;
+    stats_.messages += acc.messages;
+    return acc;
+}
+
+Access
+CoherenceEngine::write(unsigned core, Addr addr, bool tbit)
+{
+    addr = sim::blockAlign(addr);
+    ++stats_.writes;
+    if (tbit)
+        ++stats_.tbitWrites;
+    Line &line = lineFor(addr);
+    Access acc;
+
+    bool own_exclusive =
+        (line.state == CacheState::Modified ||
+         line.state == CacheState::Exclusive) &&
+        line.owner == core && line.sharers.test(core);
+
+    if (own_exclusive) {
+        // Silent E->M upgrade or plain M hit: no coherence traffic.
+        line.state = CacheState::Modified;
+        acc.l1Hit = true;
+        acc.latency = cfg_.l1HitCycles;
+        ++stats_.l1Hits;
+        touchL1(core, addr);
+        if (tbit && observer_)
+            observer_->translationWriteLocal(core, addr);
+        return acc;
+    }
+
+    unsigned home = mesh_.homeSlice(addr, core);
+    Cycles lat = cfg_.l1HitCycles;
+    lat += mesh_.latency(core, home, noc::MsgKind::Control);
+    lat += cfg_.llcHitCycles;
+    acc.messages = 1;
+
+    CoreMask prev_sharers = line.sharers;
+
+    if (line.state == CacheState::Modified ||
+        line.state == CacheState::Exclusive) {
+        // Another core owns it: invalidate-and-forward.
+        unsigned owner = line.owner;
+        lat += mesh_.latency(home, owner, noc::MsgKind::Control);
+        lat += mesh_.latency(owner, core, noc::MsgKind::Data);
+        acc.messages += 2;
+        ++stats_.invalidations;
+        line.sharers.forEach(
+            [&](unsigned sharer) { dropFromL1(sharer, addr); });
+        line.sharers.reset();
+        line.inLlc = true;
+        acc.llcHit = true;
+        ++stats_.llcHits;
+    } else if (line.state == CacheState::Shared) {
+        // Upgrade: parallel invalidations to all other sharers; data comes
+        // from the LLC if this core was not already a sharer.
+        Cycles inval =
+            invalidateSharers(home, line, addr, core, acc.messages);
+        Cycles data = line.sharers.test(core)
+                          ? 0
+                          : mesh_.latency(home, core, noc::MsgKind::Data);
+        if (data > 0)
+            acc.messages += 1;
+        lat += std::max(inval, data);
+        acc.llcHit = true;
+        ++stats_.llcHits;
+    } else if (line.inLlc) {
+        lat += mesh_.latency(home, core, noc::MsgKind::Data);
+        acc.messages += 1;
+        acc.llcHit = true;
+        ++stats_.llcHits;
+    } else {
+        lat += cfg_.dramCycles;
+        lat += mesh_.latency(home, core, noc::MsgKind::Data);
+        acc.messages += 1;
+        ++stats_.dramFills;
+        line.inLlc = true;
+    }
+
+    line.state = CacheState::Modified;
+    line.owner = core;
+    line.sharers.reset();
+    line.sharers.set(core);
+    touchL1(core, addr);
+
+    if (tbit && observer_) {
+        lat += observer_->translationWrite(core, addr, prev_sharers);
+    }
+
+    acc.latency = lat;
+    stats_.messages += acc.messages;
+    return acc;
+}
+
+Access
+CoherenceEngine::atomic(unsigned core, Addr addr)
+{
+    ++stats_.atomics;
+    Access acc = write(core, addr, false);
+    acc.latency += 1; // ALU forwarding for the read-modify-write
+    return acc;
+}
+
+void
+CoherenceEngine::evictL1(unsigned core, Addr addr)
+{
+    addr = sim::blockAlign(addr);
+    auto it = lines_.find(addr);
+    if (it == lines_.end())
+        return;
+    Line &line = it->second;
+    if (!line.sharers.test(core))
+        return;
+    line.sharers.clear(core);
+    if ((line.state == CacheState::Modified ||
+         line.state == CacheState::Exclusive) &&
+        line.owner == core) {
+        // Writeback (or clean replacement): LLC now holds the only copy.
+        line.state = line.sharers.none() ? CacheState::Invalid
+                                         : CacheState::Shared;
+        line.inLlc = true;
+    } else if (line.sharers.none()) {
+        line.state = CacheState::Invalid;
+    }
+}
+
+void
+CoherenceEngine::evictDirectory(Addr addr)
+{
+    addr = sim::blockAlign(addr);
+    auto it = lines_.find(addr);
+    if (it == lines_.end())
+        return;
+    if (observer_)
+        observer_->directoryEvict(addr, it->second.sharers);
+    lines_.erase(it);
+}
+
+void
+CoherenceEngine::flushAll()
+{
+    lines_.clear();
+    for (auto &l1 : l1s_) {
+        l1.lru.clear();
+        l1.map.clear();
+    }
+}
+
+} // namespace jord::mem

@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tracked-line directory-based MESI coherence engine with timing.
+ *
+ * The engine models, per cache block actually touched by the simulation,
+ * the directory state (MESI), L1 presence per core, LLC presence, and the
+ * latency of every access composed from L1/LLC/DRAM latencies and NoC
+ * message traversals (Table 2). Bulk application data that never crosses
+ * cores is folded into workload execution-time segments and never enters
+ * this engine (DESIGN.md §5.3).
+ *
+ * Jord's single-bit Translation (T) sideband (§4.2) is modelled by the
+ * @c tbit parameter on accesses: whenever a T-bit access generates
+ * coherence traffic that reaches the home directory, the registered
+ * TranslationObserver (the VTD) is notified and may add latency for the
+ * VLB-shootdown fan-out it performs.
+ */
+
+#ifndef JORD_MEM_COHERENCE_HH
+#define JORD_MEM_COHERENCE_HH
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/core_mask.hh"
+#include "noc/mesh.hh"
+#include "sim/machine.hh"
+#include "sim/types.hh"
+
+namespace jord::mem {
+
+/** Directory-visible state of a tracked block. */
+enum class CacheState : std::uint8_t {
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Outcome of one timed memory access. */
+struct Access {
+    sim::Cycles latency = 0;
+    bool l1Hit = false;
+    bool llcHit = false;
+    /** Coherence messages generated on the NoC (0 for L1 hits). */
+    unsigned messages = 0;
+};
+
+/**
+ * Interface the UAT layer implements to observe T-bit traffic (the VTD).
+ */
+class TranslationObserver
+{
+  public:
+    virtual ~TranslationObserver() = default;
+
+    /**
+     * A T-bit read from @p core for VTE block @p addr reached the home
+     * directory: register the core as a translation sharer.
+     */
+    virtual void translationRead(unsigned core, sim::Addr addr) = 0;
+
+    /**
+     * A T-bit write from @p core for VTE block @p addr reached the home
+     * directory. @p dir_sharers is the directory's L1 sharer list before
+     * invalidation (the VTD falls back to it pessimistically when it has
+     * no entry of its own, §4.2).
+     *
+     * @return Extra latency for the VLB invalidation fan-out beyond the
+     * MESI invalidations already accounted for.
+     */
+    virtual sim::Cycles translationWrite(unsigned core, sim::Addr addr,
+                                         const CoreMask &dir_sharers) = 0;
+
+    /**
+     * A T-bit write hit dirty in the writer's L1: only a local VLB
+     * invalidation is needed, with no coherence traffic (§4.2).
+     */
+    virtual void translationWriteLocal(unsigned core, sim::Addr addr) = 0;
+
+    /**
+     * The directory evicted a block; if the VTD has no entry for it, it
+     * must pessimistically treat all L1 sharers as translation sharers
+     * (the directory acts as a victim cache for the VTD, §4.2).
+     */
+    virtual void directoryEvict(sim::Addr addr,
+                                const CoreMask &dir_sharers) = 0;
+};
+
+/** Aggregate coherence statistics. */
+struct CoherenceStats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t atomics = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t llcHits = 0;
+    std::uint64_t dramFills = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t tbitReads = 0;
+    std::uint64_t tbitWrites = 0;
+
+    void
+    reset()
+    {
+        *this = CoherenceStats{};
+    }
+};
+
+/**
+ * The coherence engine. All addresses are block-aligned internally.
+ */
+class CoherenceEngine
+{
+  public:
+    CoherenceEngine(const sim::MachineConfig &cfg, const noc::Mesh &mesh);
+
+    /** Timed read of one block by @p core. */
+    Access read(unsigned core, sim::Addr addr, bool tbit = false);
+
+    /** Timed write of one block by @p core. */
+    Access write(unsigned core, sim::Addr addr, bool tbit = false);
+
+    /**
+     * Timed atomic read-modify-write (free-list pops/pushes). Write
+     * semantics plus the ALU forwarding cycle.
+     */
+    Access atomic(unsigned core, sim::Addr addr);
+
+    /** Register the VTD (may be null to detach). */
+    void
+    setTranslationObserver(TranslationObserver *observer)
+    {
+        observer_ = observer;
+    }
+
+    /** Directory state of a block (Invalid if never touched). */
+    CacheState stateOf(sim::Addr addr) const;
+
+    /** True if @p core currently holds the block in its L1. */
+    bool cachedIn(unsigned core, sim::Addr addr) const;
+
+    /** Current L1 sharer mask of a block. */
+    CoreMask sharersOf(sim::Addr addr) const;
+
+    /**
+     * Force-evict the block from @p core's L1 (silent eviction of a clean
+     * line, or writeback of a dirty one). Used by tests to reproduce the
+     * VTD victim-cache corner case.
+     */
+    void evictL1(unsigned core, sim::Addr addr);
+
+    /**
+     * Evict the block's directory entry entirely (notifies the
+     * TranslationObserver, §4.2 victim behaviour).
+     */
+    void evictDirectory(sim::Addr addr);
+
+    /** Drop all tracked state (keeps stats). */
+    void flushAll();
+
+    const CoherenceStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    const noc::Mesh &mesh() const { return mesh_; }
+    const sim::MachineConfig &config() const { return cfg_; }
+
+    /** Latency of an L1 hit. */
+    sim::Cycles l1Latency() const { return cfg_.l1HitCycles; }
+
+  private:
+    struct Line {
+        CacheState state = CacheState::Invalid;
+        CoreMask sharers;      ///< cores holding the line in L1
+        unsigned owner = 0;    ///< valid when state is Modified/Exclusive
+        bool inLlc = false;    ///< block has an on-chip LLC copy
+    };
+
+    /** Per-core L1 residency tracking with LRU capacity eviction. */
+    struct CoreL1 {
+        std::list<sim::Addr> lru; ///< front = most recent
+        std::unordered_map<sim::Addr, std::list<sim::Addr>::iterator>
+            map;
+    };
+
+    const sim::MachineConfig cfg_;
+    const noc::Mesh &mesh_;
+    TranslationObserver *observer_ = nullptr;
+    std::unordered_map<sim::Addr, Line> lines_;
+    std::vector<CoreL1> l1s_;
+    CoherenceStats stats_;
+
+    Line &lineFor(sim::Addr addr);
+
+    /** Record residency of @p addr in @p core's L1; evicts LRU victims
+     * beyond the configured capacity. */
+    void touchL1(unsigned core, sim::Addr addr);
+
+    /** Remove @p addr from @p core's LRU bookkeeping (invalidation). */
+    void dropFromL1(unsigned core, sim::Addr addr);
+
+    /** Max parallel invalidation round-trip from home to all sharers. */
+    sim::Cycles invalidateSharers(unsigned home, Line &line,
+                                  sim::Addr addr_of_line,
+                                  unsigned except, unsigned &messages);
+};
+
+} // namespace jord::mem
+
+#endif // JORD_MEM_COHERENCE_HH

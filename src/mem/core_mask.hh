@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fixed-size bitmask over cores (up to 256, matching the largest
+ * scalability configuration in §6.3). Used for directory sharer lists and
+ * VTD sharer tracking.
+ */
+
+#ifndef JORD_MEM_CORE_MASK_HH
+#define JORD_MEM_CORE_MASK_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace jord::mem {
+
+/** Maximum number of cores any configuration may have. */
+inline constexpr unsigned kMaxCores = 256;
+
+/**
+ * Bitset over core ids with the few operations directories need.
+ */
+class CoreMask
+{
+  public:
+    constexpr CoreMask() : words_{} {}
+
+    void
+    set(unsigned core)
+    {
+        words_[core / 64] |= 1ull << (core % 64);
+    }
+
+    void
+    clear(unsigned core)
+    {
+        words_[core / 64] &= ~(1ull << (core % 64));
+    }
+
+    bool
+    test(unsigned core) const
+    {
+        return (words_[core / 64] >> (core % 64)) & 1;
+    }
+
+    void
+    reset()
+    {
+        words_ = {};
+    }
+
+    bool
+    any() const
+    {
+        for (auto w : words_)
+            if (w)
+                return true;
+        return false;
+    }
+
+    bool none() const { return !any(); }
+
+    unsigned
+    count() const
+    {
+        unsigned n = 0;
+        for (auto w : words_)
+            n += static_cast<unsigned>(std::popcount(w));
+        return n;
+    }
+
+    /** True iff @p core is the only set bit. */
+    bool
+    onlyContains(unsigned core) const
+    {
+        return count() == 1 && test(core);
+    }
+
+    CoreMask &
+    operator|=(const CoreMask &other)
+    {
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            words_[i] |= other.words_[i];
+        return *this;
+    }
+
+    CoreMask &
+    operator&=(const CoreMask &other)
+    {
+        for (std::size_t i = 0; i < words_.size(); ++i)
+            words_[i] &= other.words_[i];
+        return *this;
+    }
+
+    bool
+    operator==(const CoreMask &other) const
+    {
+        return words_ == other.words_;
+    }
+
+    /** Invoke @p fn for every set core id, in increasing order. */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            std::uint64_t w = words_[i];
+            while (w) {
+                unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+                fn(static_cast<unsigned>(i * 64 + bit));
+                w &= w - 1;
+            }
+        }
+    }
+
+  private:
+    std::array<std::uint64_t, kMaxCores / 64> words_;
+};
+
+} // namespace jord::mem
+
+#endif // JORD_MEM_CORE_MASK_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Software cycle budgets for PrivLib operations.
+ *
+ * Each PrivLib call is modelled as: uatg gate entry + mandatory policy
+ * checks (instruction execution, scaled by the machine profile's IPC
+ * factor) plus the real memory accesses the operation performs (free
+ * list atomics, VTE reads/writes, completion fences), which are charged
+ * through the coherence engine. The constants below are calibrated so
+ * the Table 4 simulator column emerges in the warm single-core case and
+ * the FPGA column follows from the IPC penalty alone (§6.2).
+ */
+
+#ifndef JORD_PRIVLIB_COSTS_HH
+#define JORD_PRIVLIB_COSTS_HH
+
+#include "sim/types.hh"
+
+namespace jord::privlib {
+
+/** Instruction-execution budgets (cycles at the simulator's IPC). */
+struct PrivCosts {
+    /** uatg gate entry + CFI policy-check prologue, on every call. */
+    sim::Cycles gateEntry = 8;
+
+    sim::Cycles mmapSw = 48;     ///< size-class calc, list bookkeeping
+    sim::Cycles munmapSw = 45;   ///< teardown bookkeeping
+    sim::Cycles mprotectSw = 54; ///< permission recompute
+    sim::Cycles pmoveSw = 28;    ///< transfer bookkeeping
+    sim::Cycles pcopySw = 26;    ///< duplicate bookkeeping
+
+    sim::Cycles cgetSw = 30;   ///< PD metadata init
+    sim::Cycles cputSw = 40;   ///< PD teardown checks
+    sim::Cycles ccallSw = 30;  ///< register save + load
+    sim::Cycles centerSw = 28; ///< register reload
+    sim::Cycles cexitSw = 26;  ///< register save
+
+    /** Pipeline refill after the control transfer of a PD switch. */
+    sim::Cycles switchPipeline = 6;
+
+    /** Near-free cost charged when isolation is bypassed (Jord_NI). */
+    sim::Cycles bypass = 2;
+};
+
+} // namespace jord::privlib
+
+#endif // JORD_PRIVLIB_COSTS_HH

@@ -1,0 +1,90 @@
+#include "runtime/autoscaler.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace jord::runtime {
+
+Autoscaler::Autoscaler(AutoscaleConfig cfg,
+                       const FunctionRegistry &registry)
+    : cfg_(std::move(cfg)), active_(cfg_.minWorkers)
+{
+    if (cfg_.minWorkers == 0 || cfg_.minWorkers > cfg_.maxWorkers)
+        sim::fatal("invalid autoscaler worker bounds [%u, %u]",
+                   cfg_.minWorkers, cfg_.maxWorkers);
+    fleet_.reserve(cfg_.maxWorkers);
+    for (unsigned i = 0; i < cfg_.maxWorkers; ++i) {
+        WorkerConfig wc = cfg_.worker;
+        wc.seed = cfg_.worker.seed + i * 7919; // decorrelate workers
+        fleet_.push_back(
+            std::make_unique<WorkerServer>(wc, registry));
+    }
+}
+
+Autoscaler::~Autoscaler() = default;
+
+EpochStats
+Autoscaler::runEpoch(double offered_mrps, const EntryMix &mix)
+{
+    EpochStats stats;
+    stats.epoch = epoch_++;
+    stats.offeredMrps = offered_mrps;
+    stats.activeWorkers = active_;
+
+    // The front end splits the load evenly across active workers.
+    double per_worker = offered_mrps / active_;
+    stats::Sampler latency;
+    double achieved = 0;
+    double util = 0;
+    for (unsigned i = 0; i < active_; ++i) {
+        RunResult res = fleet_[i]->run(per_worker,
+                                       cfg_.requestsPerEpoch, mix,
+                                       cfg_.warmupFrac);
+        latency.merge(res.latencyUs);
+        achieved += res.achievedMrps;
+        util += res.executorUtilization;
+    }
+    stats.utilization = util / active_;
+    stats.p99Us = latency.p99();
+    stats.meanUs = latency.mean();
+    stats.achievedMrps = achieved;
+    stats.metSlo = stats.p99Us <= cfg_.sloUs;
+
+    // Reactive scaling decision for the next epoch, with hysteresis:
+    // after a scale-out, scale-in is suppressed for a cooldown window
+    // so a briefly relieved fleet does not flap.
+    bool cooling = scaledOutOnce_ &&
+                   stats.epoch < lastScaleOut_ +
+                                     cfg_.scaleInCooldownEpochs;
+    if (stats.p99Us > cfg_.scaleOutThreshold * cfg_.sloUs &&
+        active_ < cfg_.maxWorkers) {
+        ++active_;
+        stats.scaleDecision = +1;
+        lastScaleOut_ = stats.epoch;
+        scaledOutOnce_ = true;
+    } else if (!cooling &&
+               stats.p99Us < cfg_.scaleInThreshold * cfg_.sloUs &&
+               active_ > cfg_.minWorkers &&
+               stats.utilization * active_ / (active_ - 1) <
+                   cfg_.scaleInUtilization) {
+        // The shrunk fleet must still have utilization headroom, or
+        // the next epoch would immediately blow the SLO again.
+        --active_;
+        stats.scaleDecision = -1;
+    }
+    return stats;
+}
+
+std::vector<EpochStats>
+Autoscaler::runTrace(const std::vector<double> &trace,
+                     const EntryMix &mix)
+{
+    std::vector<EpochStats> out;
+    out.reserve(trace.size());
+    for (double offered : trace)
+        out.push_back(runEpoch(offered, mix));
+    return out;
+}
+
+} // namespace jord::runtime

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fleet autoscaling: the operational FaaS promise (§1) on top of Jord
+ * worker servers.
+ *
+ * A fleet of identical worker servers sits behind a front-end load
+ * balancer that spreads offered load evenly across the active workers.
+ * Between epochs a reactive controller compares the fleet's P99
+ * against the SLO and scales the active worker count up or down —
+ * the "functions as standalone schedulable entities that scale
+ * independently" model the paper inherits from FaaS [26].
+ *
+ * Workers are independent machines, so an epoch is simulated per
+ * worker and the samples are merged; there is no cross-worker state.
+ */
+
+#ifndef JORD_RUNTIME_AUTOSCALER_HH
+#define JORD_RUNTIME_AUTOSCALER_HH
+
+#include <memory>
+#include <vector>
+
+#include "runtime/worker.hh"
+
+namespace jord::runtime {
+
+/** Autoscaler policy knobs. */
+struct AutoscaleConfig {
+    WorkerConfig worker;
+    /** P99 target the fleet must hold. */
+    double sloUs = 100.0;
+    unsigned minWorkers = 1;
+    unsigned maxWorkers = 8;
+    /** Scale out when P99 exceeds this fraction of the SLO. */
+    double scaleOutThreshold = 0.85;
+    /** Scale in when P99 falls below this fraction of the SLO. */
+    double scaleInThreshold = 0.30;
+    /** Epochs after a scale-out during which scale-in is suppressed
+     * (hysteresis against flapping). */
+    unsigned scaleInCooldownEpochs = 3;
+    /** Scale in only if the shrunk fleet would stay below this
+     * executor utilization at the current load. */
+    double scaleInUtilization = 0.60;
+    /** External requests simulated per worker per epoch. */
+    std::uint64_t requestsPerEpoch = 5000;
+    double warmupFrac = 0.2;
+};
+
+/** One epoch's outcome. */
+struct EpochStats {
+    unsigned epoch = 0;
+    double offeredMrps = 0;   ///< fleet-wide offered load
+    unsigned activeWorkers = 0;
+    double p99Us = 0;
+    double meanUs = 0;
+    double utilization = 0; ///< mean executor busy fraction
+    double achievedMrps = 0;  ///< fleet-wide
+    bool metSlo = false;
+    int scaleDecision = 0;    ///< +1 out, -1 in, 0 hold (for next epoch)
+};
+
+/**
+ * The fleet controller.
+ */
+class Autoscaler
+{
+  public:
+    /**
+     * @param cfg Policy and per-worker configuration.
+     * @param registry Functions to deploy on every worker.
+     */
+    Autoscaler(AutoscaleConfig cfg, const FunctionRegistry &registry);
+    ~Autoscaler();
+
+    Autoscaler(const Autoscaler &) = delete;
+    Autoscaler &operator=(const Autoscaler &) = delete;
+
+    /**
+     * Run one epoch at fleet-wide @p offered_mrps with the current
+     * active worker count, then apply the scaling decision for the
+     * next epoch.
+     */
+    EpochStats runEpoch(double offered_mrps, const EntryMix &mix);
+
+    /** Drive a whole load trace; returns one EpochStats per entry. */
+    std::vector<EpochStats> runTrace(const std::vector<double> &trace,
+                                     const EntryMix &mix);
+
+    unsigned activeWorkers() const { return active_; }
+
+  private:
+    AutoscaleConfig cfg_;
+    std::vector<std::unique_ptr<WorkerServer>> fleet_;
+    unsigned active_;
+    unsigned epoch_ = 0;
+    /** Epoch of the most recent scale-out (for the cooldown). */
+    unsigned lastScaleOut_ = 0;
+    bool scaledOutOnce_ = false;
+};
+
+} // namespace jord::runtime
+
+#endif // JORD_RUNTIME_AUTOSCALER_HH

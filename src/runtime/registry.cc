@@ -1,0 +1,57 @@
+#include "runtime/registry.hh"
+
+#include "sim/logging.hh"
+
+namespace jord::runtime {
+
+FunctionId
+FunctionRegistry::add(FunctionSpec spec)
+{
+    FunctionId id = static_cast<FunctionId>(functions_.size());
+    spec.id = id;
+    functions_.push_back(DeployedFunction{std::move(spec), 0});
+    return id;
+}
+
+const DeployedFunction &
+FunctionRegistry::at(FunctionId id) const
+{
+    if (id >= functions_.size())
+        sim::panic("unknown function id %u", id);
+    return functions_[id];
+}
+
+DeployedFunction &
+FunctionRegistry::at(FunctionId id)
+{
+    if (id >= functions_.size())
+        sim::panic("unknown function id %u", id);
+    return functions_[id];
+}
+
+std::optional<FunctionId>
+FunctionRegistry::findByName(const std::string &name) const
+{
+    for (const auto &fn : functions_)
+        if (fn.spec.name == name)
+            return fn.spec.id;
+    return std::nullopt;
+}
+
+void
+FunctionRegistry::deploy(privlib::PrivLib &privlib, unsigned core)
+{
+    for (auto &fn : functions_) {
+        if (fn.codeVma != 0)
+            continue;
+        privlib::PrivResult res = privlib.mmapFor(
+            core, privlib::PrivLib::kRootPd, fn.spec.codeBytes,
+            uat::Perm::rx());
+        if (!res.ok)
+            sim::fatal("failed to deploy code VMA for %s",
+                       fn.spec.name.c_str());
+        fn.codeVma = res.value;
+    }
+}
+
+} // namespace jord::runtime

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Function registry: the deployed functions of a worker server.
+ *
+ * Registration creates each function's code VMA (owned by the root PD;
+ * executors pcopy execute permission into a fresh PD per invocation,
+ * Fig. 4) and records the behavioural model used to simulate it.
+ */
+
+#ifndef JORD_RUNTIME_REGISTRY_HH
+#define JORD_RUNTIME_REGISTRY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "privlib/privlib.hh"
+#include "runtime/types.hh"
+
+namespace jord::runtime {
+
+/** A registered function with its materialised code VMA. */
+struct DeployedFunction {
+    FunctionSpec spec;
+    /** Base VA of the function's code VMA (0 until deployed). */
+    sim::Addr codeVma = 0;
+};
+
+/**
+ * Registry of deployed functions.
+ */
+class FunctionRegistry
+{
+  public:
+    FunctionRegistry() = default;
+
+    /**
+     * Register a function model. Ids must be dense; the first
+     * registration gets id 0 unless the spec carries an explicit id
+     * equal to the current count.
+     * @return the assigned FunctionId.
+     */
+    FunctionId add(FunctionSpec spec);
+
+    /** Look up by id; panics on out-of-range (internal misuse). */
+    const DeployedFunction &at(FunctionId id) const;
+    DeployedFunction &at(FunctionId id);
+
+    /** Look up by name. */
+    std::optional<FunctionId> findByName(const std::string &name) const;
+
+    std::size_t size() const { return functions_.size(); }
+
+    /**
+     * Materialise code VMAs through PrivLib (called once by the worker
+     * during startup; @p core is the bootstrapping core).
+     */
+    void deploy(privlib::PrivLib &privlib, unsigned core);
+
+    const std::vector<DeployedFunction> &all() const { return functions_; }
+
+  private:
+    std::vector<DeployedFunction> functions_;
+};
+
+} // namespace jord::runtime
+
+#endif // JORD_RUNTIME_REGISTRY_HH

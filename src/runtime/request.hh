@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Requests and invocations: the units of work flowing through a worker.
+ *
+ * A Request is what sits in orchestrator/executor queues (external from
+ * the load generator, internal from nested jord::call/async). An
+ * Invocation is the execution state of a dispatched request on its
+ * executor: the continuation of §3.4, with its protection domain,
+ * private stack/heap VMA, remaining compute segments, and outstanding
+ * children.
+ */
+
+#ifndef JORD_RUNTIME_REQUEST_HH
+#define JORD_RUNTIME_REQUEST_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/types.hh"
+#include "uat/vte.hh"
+
+namespace jord::runtime {
+
+/** A pending function-invocation request. */
+struct Request {
+    RequestId id = 0;
+    FunctionId fn = 0;
+    /** Entered the orchestrator (external) / was submitted (internal). */
+    sim::Tick arrival = 0;
+    /** Dispatch decision latency charged to this request (Fig. 11). */
+    sim::Cycles dispatchCycles = 0;
+    bool internal = false;
+    /** Parent invocation id for internal requests (0 = external). */
+    RequestId parent = 0;
+    /** ArgBuf VMA base (0 under NightCore, which uses pipes). */
+    sim::Addr argBuf = 0;
+    std::uint64_t argBytes = 0;
+    /** Core that populated the ArgBuf / wrote the pipe. */
+    unsigned producerCore = 0;
+    /** PD currently holding the ArgBuf permission (root for external,
+     * the parent's PD for nested requests); the ArgBuf is returned to
+     * this PD when the invocation completes. */
+    uat::PdId argOwner = 0;
+    /** Orchestrator that owns this request. */
+    unsigned orch = 0;
+    /** Counts toward metrics (post-warmup root request). */
+    bool measured = false;
+};
+
+/** A completed child's response, waiting to be consumed by the parent. */
+struct ChildResult {
+    sim::Addr argBuf = 0;
+    std::uint64_t argBytes = 0;
+    unsigned producerCore = 0;
+};
+
+/** Why an invocation is not currently running. */
+enum class InvState {
+    Running,   ///< occupying its executor
+    Suspended, ///< cexit'd, waiting for children
+    Resumable, ///< children done, waiting for the executor
+    Done,
+};
+
+/**
+ * The continuation of one function invocation (§3.4).
+ */
+struct Invocation {
+    Request req;
+    /** Executor (index into the worker's executor array). */
+    unsigned exec = 0;
+    InvState state = InvState::Running;
+
+    // --- Jord isolation state ---
+    uat::PdId pd = 0;
+    sim::Addr stackHeapVma = 0;
+
+    // --- Execution progress ---
+    /** Compute segments between call points (spec.calls.size() + 1). */
+    std::vector<sim::Cycles> segments;
+    /** Next call to issue == next segment to run. */
+    unsigned nextCall = 0;
+    /** Children issued but not yet completed. */
+    unsigned pendingChildren = 0;
+    /** Resume when pendingChildren <= this threshold. */
+    unsigned resumeThreshold = 0;
+    /** Completed children whose responses are unread. */
+    std::vector<ChildResult> childResults;
+
+    // --- Accounting ---
+    sim::Tick serviceStart = 0; ///< dequeued by the executor
+    sim::Tick suspendedAt = 0;
+    Breakdown bd;
+};
+
+} // namespace jord::runtime
+
+#endif // JORD_RUNTIME_REQUEST_HH

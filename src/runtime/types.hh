@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Shared runtime types: function models, requests, system variants.
+ */
+
+#ifndef JORD_RUNTIME_TYPES_HH
+#define JORD_RUNTIME_TYPES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace jord::runtime {
+
+/** Identifies a registered function. */
+using FunctionId = std::uint32_t;
+
+/** Identifies one request (external or internal). */
+using RequestId = std::uint64_t;
+
+/** Which system is being modelled (§5). */
+enum class SystemKind {
+    Jord,      ///< plain-list VMA table + full isolation
+    JordNI,    ///< isolation bypassed (insecure upper bound)
+    JordBT,    ///< B-tree VMA table
+    NightCore, ///< enhanced NightCore (threads + JBSQ, pipes)
+};
+
+/** Short display name of a system variant. */
+inline const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Jord: return "Jord";
+      case SystemKind::JordNI: return "JordNI";
+      case SystemKind::JordBT: return "JordBT";
+      case SystemKind::NightCore: return "NightCore";
+    }
+    return "?";
+}
+
+/** One nested invocation a function issues. */
+struct CallSpec {
+    FunctionId target = 0;
+    /** Argument + response buffer size in bytes. */
+    std::uint64_t argBytes = 512;
+    /**
+     * Synchronous (jord::call — suspend until the child returns) or
+     * asynchronous (jord::async — a cookie waited on before the final
+     * segment), Listing 1.
+     */
+    bool sync = false;
+};
+
+/**
+ * The model of one function's behaviour: how long its own computation
+ * runs, how that computation is split around its nested calls, and how
+ * much memory it touches. Execution time is drawn per invocation from a
+ * lognormal with the given mean/CV (DeathStarBench-style service-time
+ * dispersion).
+ */
+struct FunctionSpec {
+    FunctionId id = 0;
+    std::string name;
+
+    /** Mean of the function's own execution time (excluding children). */
+    double execMeanUs = 1.0;
+    /** Coefficient of variation of the execution time. */
+    double execCv = 0.3;
+
+    /** Nested invocations, issued in order at evenly spaced points. */
+    std::vector<CallSpec> calls;
+
+    /**
+     * Optional relative weights of the compute segments around the
+     * call points (size must be calls.size() + 1 when non-empty). An
+     * empty vector splits the drawn execution time evenly; the
+     * FunctionBuilder fills this from its compute() steps.
+     */
+    std::vector<double> segmentWeights;
+
+    /** Private stack+heap VMA size (one VMA per invocation, Fig. 4). */
+    std::uint64_t stackHeapBytes = 16 << 10;
+    /** Code VMA size. */
+    std::uint64_t codeBytes = 32 << 10;
+    /** Input/response ArgBuf size for external requests to this fn. */
+    std::uint64_t argBytes = 512;
+};
+
+/** Accumulated per-invocation overhead breakdown (Fig. 11). */
+struct Breakdown {
+    sim::Cycles exec = 0;      ///< function computation
+    sim::Cycles isolation = 0; ///< PrivLib PD + VMA management
+    sim::Cycles dispatch = 0;  ///< orchestrator dispatch share
+    sim::Cycles comm = 0;      ///< ArgBuf coherence transfers
+    sim::Cycles pipe = 0;      ///< NightCore pipe work
+    sim::Cycles queue = 0;     ///< waiting in queues / for children
+
+    sim::Cycles
+    total() const
+    {
+        return exec + isolation + dispatch + comm + pipe + queue;
+    }
+
+    Breakdown &
+    operator+=(const Breakdown &other)
+    {
+        exec += other.exec;
+        isolation += other.isolation;
+        dispatch += other.dispatch;
+        comm += other.comm;
+        pipe += other.pipe;
+        queue += other.queue;
+        return *this;
+    }
+};
+
+} // namespace jord::runtime
+
+#endif // JORD_RUNTIME_TYPES_HH

@@ -1,0 +1,1085 @@
+#include "runtime/worker.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace jord::runtime {
+
+using sim::Addr;
+using sim::Cycles;
+using sim::Tick;
+
+namespace {
+/** Synthetic cache lines for executor request queues. */
+constexpr Addr kQueueLineBase = 0x5000'0000'0000ull;
+/** Fixed bookkeeping cycles for queue push/pop and notifications. */
+constexpr Cycles kQueueOpCycles = 6;
+/** Orchestrator bookkeeping per completed request. */
+constexpr Cycles kCompletionCycles = 20;
+} // namespace
+
+WorkerServer::WorkerServer(WorkerConfig cfg, FunctionRegistry registry)
+    : cfg_(std::move(cfg)), registry_(std::move(registry)),
+      rng_(cfg_.seed)
+{
+    const sim::MachineConfig &m = cfg_.machine;
+    mesh_ = std::make_unique<noc::Mesh>(m);
+    coherence_ = std::make_unique<mem::CoherenceEngine>(m, *mesh_);
+
+    uat::VaEncoding encoding;
+    if (cfg_.system == SystemKind::JordBT)
+        table_ = std::make_unique<uat::BTreeVmaTable>(encoding);
+    else
+        table_ = std::make_unique<uat::PlainListVmaTable>(encoding);
+
+    uat_ = std::make_unique<uat::UatSystem>(m, *coherence_, *table_);
+    kernel_ = std::make_unique<os::Kernel>(m);
+    privlib_ = std::make_unique<privlib::PrivLib>(m, *coherence_, *uat_,
+                                                  *table_, *kernel_);
+    if (cfg_.system == SystemKind::JordNI)
+        privlib_->setIsolationBypass(true);
+
+    // --- Core partitioning -------------------------------------------
+    unsigned num_orch = std::max(1u, cfg_.numOrchestrators);
+    if (num_orch >= m.numCores)
+        sim::fatal("no cores left for executors");
+
+    std::vector<bool> is_orch(m.numCores, false);
+    orchs_.resize(num_orch);
+    for (unsigned o = 0; o < num_orch; ++o) {
+        // Spread orchestrators across sockets, then across cores within
+        // the socket (the §6.3 per-socket deployment).
+        unsigned socket = cfg_.perSocketOrchestrators
+                              ? o % m.numSockets
+                              : 0;
+        unsigned within = cfg_.perSocketOrchestrators
+                              ? o / m.numSockets
+                              : o;
+        unsigned core = socket * m.coresPerSocket() + within;
+        orchs_[o].core = core;
+        orchs_[o].completionLine =
+            kQueueLineBase + 0x10000 + o * sim::kCacheBlockBytes;
+        is_orch[core] = true;
+    }
+
+    for (unsigned core = 0; core < m.numCores; ++core) {
+        if (is_orch[core])
+            continue;
+        ExecState exec;
+        exec.core = core;
+        exec.queueLine = kQueueLineBase +
+                         execs_.size() * sim::kCacheBlockBytes;
+        exec.dirtyFor.assign(num_orch, true);
+        // Home orchestrator (receives this executor's internal requests
+        // and completions): round-robin within the socket when
+        // per-socket orchestrators are enabled.
+        unsigned chosen = 0;
+        if (cfg_.perSocketOrchestrators && m.numSockets > 1) {
+            // Round-robin among the orchestrators of this core's socket.
+            unsigned socket = m.socketOf(core);
+            std::vector<unsigned> local;
+            for (unsigned o = 0; o < num_orch; ++o)
+                if (m.socketOf(orchs_[o].core) == socket)
+                    local.push_back(o);
+            if (local.empty())
+                sim::fatal("socket %u has executors but no orchestrator",
+                           socket);
+            chosen = local[execs_.size() % local.size()];
+        } else {
+            chosen = static_cast<unsigned>(execs_.size()) % num_orch;
+        }
+        exec.orch = chosen;
+        execs_.push_back(exec);
+    }
+
+    // Dispatch sets: every orchestrator balances over all executors of
+    // its own socket (the paper's "group of executors in proximity",
+    // §3.3/§6.3); JBSQ outstanding counters are shared state.
+    for (unsigned o = 0; o < num_orch; ++o) {
+        for (unsigned e = 0; e < execs_.size(); ++e) {
+            if (!cfg_.perSocketOrchestrators ||
+                m.socketOf(orchs_[o].core) ==
+                    m.socketOf(execs_[e].core)) {
+                orchs_[o].execs.push_back(e);
+            }
+        }
+        if (orchs_[o].execs.empty())
+            sim::fatal("orchestrator %u manages no executors", o);
+    }
+
+    // --- Deploy functions and runtime code ----------------------------
+    unsigned boot_core = orchs_[0].core;
+    registry_.deploy(*privlib_, boot_core);
+    privlib::PrivResult rt = privlib_->mmapFor(
+        boot_core, privlib::PrivLib::kRootPd, 64 << 10, uat::Perm::rx());
+    if (!rt.ok)
+        sim::fatal("failed to create runtime code VMA");
+    runtimeCodeVma_ = rt.value;
+
+    ntcConcurrency_.assign(registry_.size(), 0);
+    ntcProvisioned_.assign(registry_.size(),
+                           cfg_.provisioning.preProvisioned);
+}
+
+WorkerServer::~WorkerServer() = default;
+
+// --- Load generation -------------------------------------------------------
+
+FunctionId
+WorkerServer::sampleEntry()
+{
+    double pick = rng_.uniform() * mixTotal_;
+    double acc = 0;
+    for (const auto &[fn, weight] : mix_) {
+        acc += weight;
+        if (pick < acc)
+            return fn;
+    }
+    return mix_.back().first;
+}
+
+void
+WorkerServer::scheduleNextArrival()
+{
+    if (externalLeft_ == 0)
+        return;
+    --externalLeft_;
+    Cycles gap = static_cast<Cycles>(
+        rng_.exponential(arrivalMeanCycles_));
+    events_.scheduleAfter(gap, [this] { onExternalArrival(); });
+}
+
+void
+WorkerServer::onExternalArrival()
+{
+    const FunctionSpec &spec = registry_.at(sampleEntry()).spec;
+    Request req;
+    req.id = nextRequestId_++;
+    req.fn = spec.id;
+    req.argBytes = spec.argBytes;
+    req.orch = rrOrch_;
+    req.measured = generated_ >= warmupRequests_;
+    ++generated_;
+    rrOrch_ = (rrOrch_ + 1) % orchs_.size();
+    orchEnqueue(req.orch, std::move(req));
+    scheduleNextArrival();
+}
+
+// --- Orchestrator -----------------------------------------------------------
+
+void
+WorkerServer::orchEnqueue(unsigned orch, Request req)
+{
+    OrchState &o = orchs_[orch];
+    req.arrival = events_.curTick();
+    if (req.internal)
+        o.internal.push_back(std::move(req));
+    else
+        o.external.push_back(std::move(req));
+    orchDispatchStep(orch);
+}
+
+void
+WorkerServer::markDirty(ExecState &exec)
+{
+    std::fill(exec.dirtyFor.begin(), exec.dirtyFor.end(), true);
+}
+
+Cycles
+WorkerServer::dispatchScan(OrchState &o, unsigned orch_idx,
+                           unsigned &chosen)
+{
+    // RPCValet-style JBSQ: load each managed executor's queue-length
+    // line; lines unchanged since the last scan hit in the L1, changed
+    // ones pay a coherence round trip, overlapped up to dispatchMlp.
+    Cycles lat = 8 + static_cast<Cycles>(o.execs.size()) / 4;
+    Cycles miss_total = 0;
+    unsigned misses = 0;
+    unsigned best = o.execs[o.rr % o.execs.size()];
+    for (unsigned i = 0; i < o.execs.size(); ++i) {
+        unsigned ei = o.execs[(o.rr + i) % o.execs.size()];
+        ExecState &e = execs_[ei];
+        if (e.dirtyFor[orch_idx]) {
+            miss_total +=
+                mesh_->roundTrip(o.core, e.core, noc::MsgKind::Data);
+            ++misses;
+            e.dirtyFor[orch_idx] = false;
+        }
+        if (execs_[ei].outstanding < execs_[best].outstanding)
+            best = ei;
+    }
+    o.rr = (o.rr + 1) % o.execs.size();
+    if (misses > 0) {
+        unsigned overlap = std::max(
+            1u, std::min(cfg_.dispatchMlp, misses));
+        lat += miss_total / overlap;
+    }
+    chosen = best;
+    return lat;
+}
+
+void
+WorkerServer::orchDispatchStep(unsigned orch)
+{
+    OrchState &o = orchs_[orch];
+    if (o.dispatching)
+        return;
+
+    Cycles busy = 0;
+    bool progressed = false;
+
+    if (!o.completions.empty()) {
+        // Finish a completed external request: read the response out of
+        // the ArgBuf and release it.
+        RequestId id = o.completions.front();
+        o.completions.pop_front();
+        auto it = live_.find(id);
+        if (it != live_.end()) {
+            Invocation &inv = *it->second;
+            busy += kCompletionCycles;
+            if (cfg_.system == SystemKind::NightCore) {
+                busy += cfg_.pipeCosts.recvBusy(inv.req.argBytes);
+            } else if (inv.req.argBuf) {
+                // The response leaves through the NIC by DMA; the
+                // orchestrator only releases the ArgBuf.
+                privlib::PrivResult res = privlib_->munmap(
+                    o.core, inv.req.argBuf, inv.req.argBytes);
+                busy += res.latency;
+            }
+            if (inv.req.measured && result_) {
+                double us = sim::cyclesToUs(
+                    events_.curTick() + busy - inv.req.arrival,
+                    cfg_.machine.freqGhz);
+                result_->latencyUs.record(us);
+                ++result_->completedRequests;
+            }
+            live_.erase(it);
+        }
+        progressed = true;
+    } else {
+        // Dispatch: internal requests strictly before external ones to
+        // guarantee forward progress for nested invocations (§3.3).
+        bool internal = !o.internal.empty();
+        std::deque<Request> &queue = internal ? o.internal : o.external;
+        if (!queue.empty()) {
+            Request &req = queue.front();
+
+            // External intake: materialise the request's ArgBuf.
+            if (!internal && req.argBuf == 0 &&
+                cfg_.system != SystemKind::NightCore) {
+                privlib::PrivResult res = privlib_->mmap(
+                    o.core, req.argBytes, uat::Perm::rw());
+                if (!res.ok)
+                    sim::panic("orchestrator ArgBuf mmap failed: %s",
+                               uat::faultName(res.fault));
+                req.argBuf = res.value;
+                req.producerCore = o.core;
+                busy += res.latency;
+                busy += touchArgBuf(o.core, req.argBuf, req.argBytes,
+                                    true);
+            }
+
+            unsigned chosen = 0;
+            Cycles scan = dispatchScan(o, orch, chosen);
+            busy += scan;
+
+            if (!internal &&
+                execs_[chosen].outstanding >= cfg_.jbsqBound) {
+                // JBSQ bound reached: hold external dispatch until an
+                // executor frees up (completions will kick us).
+                return;
+            }
+
+            Request out = std::move(queue.front());
+            queue.pop_front();
+            out.dispatchCycles = scan + kQueueOpCycles;
+            if (result_ && out.measured && !out.internal) {
+                result_->dispatchNs.record(
+                    sim::cyclesToNs(scan, cfg_.machine.freqGhz));
+            }
+            if (cfg_.system == SystemKind::NightCore) {
+                busy += cfg_.pipeCosts.sendBusy(out.argBytes);
+            }
+
+            ExecState &e = execs_[chosen];
+            ++e.outstanding;
+            markDirty(e);
+            busy += coherence_->write(o.core, e.queueLine).latency;
+            busy += kQueueOpCycles;
+
+            Cycles visible =
+                busy + mesh_->latency(o.core, e.core,
+                                      noc::MsgKind::Control);
+            events_.scheduleAfter(
+                visible, [this, chosen, r = std::move(out)]() mutable {
+                    execs_[chosen].queue.push_back(std::move(r));
+                    execWake(chosen);
+                });
+            progressed = true;
+        }
+    }
+
+    if (!progressed)
+        return;
+    o.dispatching = true;
+    events_.scheduleAfter(std::max<Cycles>(busy, 1), [this, orch] {
+        orchs_[orch].dispatching = false;
+        orchDispatchStep(orch);
+    });
+}
+
+// --- Executor ---------------------------------------------------------------
+
+void
+WorkerServer::execWake(unsigned exec)
+{
+    execStep(exec);
+}
+
+void
+WorkerServer::execStep(unsigned exec)
+{
+    ExecState &e = execs_[exec];
+    if (e.busy)
+        return;
+
+    if (!e.resumable.empty()) {
+        RequestId id = e.resumable.front();
+        e.resumable.pop_front();
+        auto it = live_.find(id);
+        if (it == live_.end())
+            sim::panic("resumable invocation %llu vanished",
+                       static_cast<unsigned long long>(id));
+        e.busy = true;
+        resumeInvocation(exec, *it->second);
+        return;
+    }
+    if (!e.queue.empty()) {
+        Request req = std::move(e.queue.front());
+        e.queue.pop_front();
+        markDirty(e);
+        e.busy = true;
+        startInvocation(exec, std::move(req));
+        return;
+    }
+}
+
+Cycles
+WorkerServer::drawExec(const FunctionSpec &spec)
+{
+    double cv = std::max(0.01, spec.execCv);
+    double sigma2 = std::log(1.0 + cv * cv);
+    double mu = std::log(std::max(1e-3, spec.execMeanUs)) - sigma2 / 2;
+    double us = rng_.lognormal(mu, std::sqrt(sigma2));
+    return sim::usToCycles(us, cfg_.machine.freqGhz);
+}
+
+Cycles
+WorkerServer::touchArgBuf(unsigned core, Addr va, std::uint64_t bytes,
+                          bool write)
+{
+    if (cfg_.system == SystemKind::NightCore || va == 0)
+        return 0;
+    Cycles lat = 0;
+    Cycles mem_lat = 0;
+    unsigned blocks = static_cast<unsigned>(
+        std::min<std::uint64_t>((bytes + sim::kCacheBlockBytes - 1) /
+                                    sim::kCacheBlockBytes,
+                                cfg_.argBlockCap));
+    uat::Perm need = write ? uat::Perm(uat::Perm::W) : uat::Perm::r();
+    for (unsigned i = 0; i < blocks; ++i) {
+        uat::UatAccess acc = uat_->dataAccess(
+            core, va + i * sim::kCacheBlockBytes, need);
+        if (!acc.ok())
+            sim::panic("runtime ArgBuf access fault: %s (va=%llx)",
+                       uat::faultName(acc.fault),
+                       static_cast<unsigned long long>(va));
+        lat += acc.latency + 1;
+        mem::Access macc = write ? coherence_->write(core, acc.pa)
+                                 : coherence_->read(core, acc.pa);
+        mem_lat += macc.latency;
+    }
+    // Streaming accesses to independent lines overlap in the LSQ/store
+    // buffer; memory-level parallelism hides most inter-block latency.
+    unsigned mlp = std::min(blocks, 4u);
+    if (mlp > 0)
+        lat += mem_lat / mlp;
+    return lat;
+}
+
+Cycles
+WorkerServer::invocationPrologue(Invocation &inv)
+{
+    const FunctionSpec &spec = registry_.at(inv.req.fn).spec;
+    Addr code_vma = registry_.at(inv.req.fn).codeVma;
+    unsigned core = coreOfExec(inv.exec);
+    Cycles busy = kQueueOpCycles; // dequeue bookkeeping
+
+    switch (cfg_.system) {
+      case SystemKind::Jord:
+      case SystemKind::JordBT: {
+        // Fig. 4: allocate PD, allocate stack/heap, copy code perm,
+        // transfer ArgBuf perm, enter the PD.
+        uat::UatAccess gate = uat_->fetch(core, privlib_->privCodeBase());
+        busy += gate.latency;
+        privlib::PrivResult pd = privlib_->cget(core);
+        if (!pd.ok)
+            sim::panic("cget failed: %s", uat::faultName(pd.fault));
+        inv.pd = static_cast<uat::PdId>(pd.value);
+        busy += pd.latency;
+
+        privlib::PrivResult sh = privlib_->mmapFor(
+            core, inv.pd, spec.stackHeapBytes, uat::Perm::rw());
+        if (!sh.ok)
+            sim::panic("stack/heap mmap failed: %s",
+                       uat::faultName(sh.fault));
+        inv.stackHeapVma = sh.value;
+        busy += sh.latency;
+
+        privlib::PrivResult code = privlib_->pcopy(core, code_vma,
+                                                   inv.pd,
+                                                   uat::Perm::rx());
+        if (!code.ok)
+            sim::panic("code pcopy failed: %s",
+                       uat::faultName(code.fault));
+        busy += code.latency;
+
+        if (inv.req.argBuf) {
+            // Transfer the ArgBuf permission from its producer's PD
+            // into the fresh PD (Fig. 4's "Transfer ArgBuf Perm").
+            privlib::PrivResult ab = privlib_->pmoveBetween(
+                core, inv.req.argBuf, inv.req.argOwner, inv.pd,
+                uat::Perm::rw());
+            if (!ab.ok)
+                sim::panic("ArgBuf pmove failed: %s",
+                           uat::faultName(ab.fault));
+            busy += ab.latency;
+        }
+
+        privlib::PrivResult cc = privlib_->ccall(core, inv.pd);
+        if (!cc.ok)
+            sim::panic("ccall failed: %s", uat::faultName(cc.fault));
+        busy += cc.latency;
+        inv.bd.isolation += busy - kQueueOpCycles;
+
+        // Enter the function: I-VLB fetch + read the input ArgBuf.
+        uat::UatAccess fn_fetch = uat_->fetch(core, code_vma);
+        if (!fn_fetch.ok())
+            sim::panic("function fetch fault: %s",
+                       uat::faultName(fn_fetch.fault));
+        busy += fn_fetch.latency;
+        Cycles comm = touchArgBuf(core, inv.req.argBuf, inv.req.argBytes,
+                                  false);
+        busy += comm;
+        inv.bd.comm += comm + fn_fetch.latency;
+        break;
+      }
+      case SystemKind::JordNI: {
+        // No PDs or permission transfers, but PrivLib still manages the
+        // memory: the invocation gets its private stack/heap VMA and
+        // the ArgBuf stays zero-copy shared memory (§5).
+        privlib::PrivResult sh = privlib_->mmap(
+            core, spec.stackHeapBytes, uat::Perm::rw());
+        if (!sh.ok)
+            sim::panic("NI stack/heap mmap failed");
+        inv.stackHeapVma = sh.value;
+        busy += sh.latency;
+        inv.bd.isolation += sh.latency;
+        uat::UatAccess fn_fetch = uat_->fetch(core, code_vma);
+        busy += fn_fetch.latency;
+        Cycles comm = touchArgBuf(core, inv.req.argBuf, inv.req.argBytes,
+                                  false);
+        busy += comm;
+        inv.bd.comm += comm + fn_fetch.latency;
+        break;
+      }
+      case SystemKind::NightCore: {
+        FunctionId fn = inv.req.fn;
+        ++ntcConcurrency_[fn];
+        if (ntcConcurrency_[fn] > ntcProvisioned_[fn]) {
+            // Scale out: prepare another worker for this function.
+            ++ntcProvisioned_[fn];
+            busy += cfg_.provisioning.provisionCycles;
+        }
+        Cycles pipe = cfg_.pipeCosts.recvBusy(inv.req.argBytes) +
+                      cfg_.pipeCosts.recvLatency();
+        busy += pipe;
+        inv.bd.pipe += pipe;
+        break;
+      }
+    }
+
+    inv.bd.dispatch += inv.req.dispatchCycles;
+    return busy;
+}
+
+unsigned
+WorkerServer::m_socketOfCore(unsigned core) const
+{
+    return cfg_.machine.socketOf(core);
+}
+
+unsigned
+WorkerServer::pickOrch(unsigned socket)
+{
+    for (unsigned i = 0; i < orchs_.size(); ++i) {
+        unsigned o = (rrOrch_ + i) % static_cast<unsigned>(orchs_.size());
+        if (!cfg_.perSocketOrchestrators ||
+            cfg_.machine.socketOf(orchs_[o].core) == socket) {
+            rrOrch_ = (o + 1) % static_cast<unsigned>(orchs_.size());
+            return o;
+        }
+    }
+    return 0;
+}
+
+Cycles
+WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
+                         Cycles offset)
+{
+    unsigned core = coreOfExec(inv.exec);
+    Cycles busy = 0;
+
+    Request child;
+    child.id = nextRequestId_++;
+    child.fn = call.target;
+    child.argBytes = call.argBytes;
+    child.internal = true;
+    child.parent = inv.req.id;
+    child.producerCore = core;
+    // Spread nested requests round-robin across the socket's
+    // orchestrators so a wide fan-out (Media's ReadPage) does not
+    // serialize on one dispatch loop.
+    child.orch = pickOrch(m_socketOfCore(core));
+    child.measured = inv.req.measured;
+
+    switch (cfg_.system) {
+      case SystemKind::Jord:
+      case SystemKind::JordBT: {
+        // The function allocates the output ArgBuf in its own PD
+        // (Listing 1), populates it, and the runtime hands its
+        // permission to the root domain for dispatch.
+        uat::UatAccess gate = uat_->fetch(core, privlib_->privCodeBase());
+        busy += gate.latency;
+        privlib::PrivResult ab = privlib_->mmap(core, call.argBytes,
+                                                uat::Perm::rw());
+        if (!ab.ok)
+            sim::panic("child ArgBuf mmap failed: %s",
+                       uat::faultName(ab.fault));
+        child.argBuf = ab.value;
+        busy += ab.latency;
+        inv.bd.isolation += ab.latency + gate.latency;
+
+        Cycles comm = touchArgBuf(core, child.argBuf, call.argBytes,
+                                  true);
+        busy += comm;
+        inv.bd.comm += comm;
+        // The permission stays with this PD; the child's executor
+        // transfers it directly into the child's PD at dispatch.
+        child.argOwner = inv.pd;
+
+        uat::UatAccess back = uat_->fetch(
+            core, registry_.at(inv.req.fn).codeVma);
+        busy += back.latency;
+        break;
+      }
+      case SystemKind::JordNI: {
+        privlib::PrivResult ab = privlib_->mmap(core, call.argBytes,
+                                                uat::Perm::rw());
+        if (!ab.ok)
+            sim::panic("child ArgBuf mmap failed (NI)");
+        child.argBuf = ab.value;
+        busy += ab.latency;
+        inv.bd.isolation += ab.latency;
+        Cycles comm = touchArgBuf(core, child.argBuf, call.argBytes,
+                                  true);
+        busy += comm;
+        inv.bd.comm += comm;
+        break;
+      }
+      case SystemKind::NightCore: {
+        Cycles pipe = cfg_.pipeCosts.sendBusy(call.argBytes);
+        busy += pipe;
+        inv.bd.pipe += pipe;
+        break;
+      }
+    }
+
+    ++inv.pendingChildren;
+    unsigned orch = child.orch;
+    Cycles when = offset + busy +
+                  mesh_->latency(core, orchs_[orch].core,
+                                 noc::MsgKind::Control);
+    events_.scheduleAfter(when,
+                          [this, orch, c = std::move(child)]() mutable {
+                              orchEnqueue(orch, std::move(c));
+                          });
+    return busy;
+}
+
+Cycles
+WorkerServer::consumeChildResults(Invocation &inv)
+{
+    unsigned core = coreOfExec(inv.exec);
+    Cycles busy = 0;
+    // The children's epilogues already returned each ArgBuf permission
+    // to this PD; re-enter the domain, then read + free every response.
+    if (isolated() && !inv.childResults.empty()) {
+        privlib::PrivResult ce = privlib_->center(core, inv.pd);
+        if (!ce.ok)
+            sim::panic("center failed: %s", uat::faultName(ce.fault));
+        busy += ce.latency;
+        inv.bd.isolation += ce.latency;
+    }
+    for (ChildResult &result : inv.childResults) {
+        switch (cfg_.system) {
+          case SystemKind::Jord:
+          case SystemKind::JordBT:
+          case SystemKind::JordNI: {
+            Cycles comm = touchArgBuf(core, result.argBuf,
+                                      result.argBytes, false);
+            busy += comm;
+            inv.bd.comm += comm;
+            privlib::PrivResult un = privlib_->munmap(
+                core, result.argBuf, result.argBytes);
+            if (!un.ok)
+                sim::panic("result munmap failed: %s",
+                           uat::faultName(un.fault));
+            busy += un.latency;
+            inv.bd.isolation += un.latency;
+            break;
+          }
+          case SystemKind::NightCore: {
+            Cycles pipe = cfg_.pipeCosts.recvBusy(result.argBytes);
+            busy += pipe;
+            inv.bd.pipe += pipe;
+            break;
+          }
+        }
+    }
+    inv.childResults.clear();
+    return busy;
+}
+
+Cycles
+WorkerServer::invocationEpilogue(Invocation &inv)
+{
+    unsigned core = coreOfExec(inv.exec);
+    Cycles busy = 0;
+
+    switch (cfg_.system) {
+      case SystemKind::Jord:
+      case SystemKind::JordBT: {
+        // Write the response, hand the ArgBuf back to root, revoke the
+        // code permission, leave the PD and tear everything down.
+        Cycles comm = touchArgBuf(core, inv.req.argBuf, inv.req.argBytes,
+                                  true);
+        busy += comm;
+        inv.bd.comm += comm;
+
+        uat::UatAccess gate = uat_->fetch(core, privlib_->privCodeBase());
+        busy += gate.latency;
+        Cycles iso = gate.latency;
+
+        privlib::PrivResult ex = privlib_->cexit(core);
+        if (!ex.ok)
+            sim::panic("cexit failed: %s", uat::faultName(ex.fault));
+        busy += ex.latency;
+        iso += ex.latency;
+
+        if (inv.req.argBuf) {
+            // Hand the ArgBuf (now holding the response) back to the
+            // PD it came from.
+            privlib::PrivResult mv = privlib_->pmoveBetween(
+                core, inv.req.argBuf, inv.pd, inv.req.argOwner,
+                uat::Perm::rw());
+            if (!mv.ok)
+                sim::panic("epilogue ArgBuf pmove failed: %s",
+                           uat::faultName(mv.fault));
+            busy += mv.latency;
+            iso += mv.latency;
+        }
+        privlib::PrivResult code = privlib_->pmoveBetween(
+            core, registry_.at(inv.req.fn).codeVma, inv.pd,
+            privlib::PrivLib::kRootPd, uat::Perm::rx());
+        if (!code.ok)
+            sim::panic("code revoke failed: %s",
+                       uat::faultName(code.fault));
+        busy += code.latency;
+        iso += code.latency;
+
+        privlib::PrivResult un = privlib_->munmap(
+            core, inv.stackHeapVma,
+            registry_.at(inv.req.fn).spec.stackHeapBytes);
+        if (!un.ok)
+            sim::panic("stack/heap munmap failed: %s",
+                       uat::faultName(un.fault));
+        busy += un.latency;
+        iso += un.latency;
+
+        privlib::PrivResult put = privlib_->cput(core, inv.pd);
+        if (!put.ok)
+            sim::panic("cput failed: %s", uat::faultName(put.fault));
+        busy += put.latency;
+        iso += put.latency;
+        inv.bd.isolation += iso;
+        break;
+      }
+      case SystemKind::JordNI: {
+        Cycles comm = touchArgBuf(core, inv.req.argBuf, inv.req.argBytes,
+                                  true);
+        busy += comm;
+        inv.bd.comm += comm;
+        privlib::PrivResult un = privlib_->munmap(
+            core, inv.stackHeapVma,
+            registry_.at(inv.req.fn).spec.stackHeapBytes);
+        if (!un.ok)
+            sim::panic("NI stack/heap munmap failed");
+        busy += un.latency;
+        inv.bd.isolation += un.latency;
+        break;
+      }
+      case SystemKind::NightCore: {
+        Cycles pipe = cfg_.pipeCosts.sendBusy(inv.req.argBytes);
+        busy += pipe;
+        inv.bd.pipe += pipe;
+        break;
+      }
+    }
+    busy += kQueueOpCycles; // completion notification
+    return busy;
+}
+
+Cycles
+WorkerServer::runUntilBlocked(Invocation &inv)
+{
+    const FunctionSpec &spec = registry_.at(inv.req.fn).spec;
+    unsigned core = coreOfExec(inv.exec);
+    Cycles busy = 0;
+    unsigned num_calls = static_cast<unsigned>(spec.calls.size());
+
+    while (inv.nextCall <= num_calls) {
+        unsigned i = inv.nextCall;
+        if (i == num_calls && inv.pendingChildren > 0) {
+            // Final join: wait for every outstanding async child
+            // (Listing 1's jord::wait) before the last segment.
+            if (isolated()) {
+                privlib::PrivResult ex = privlib_->cexit(core);
+                if (!ex.ok)
+                    sim::panic("join cexit failed: %s",
+                               uat::faultName(ex.fault));
+                busy += ex.latency;
+                inv.bd.isolation += ex.latency;
+            }
+            inv.state = InvState::Suspended;
+            inv.resumeThreshold = 0;
+            return busy;
+        }
+
+        Cycles seg = inv.segments[i];
+        busy += seg;
+        inv.bd.exec += seg;
+
+        // Touch the private stack/heap once per segment (D-VLB work).
+        if (inv.stackHeapVma) {
+            const FunctionSpec &fs = spec;
+            uat::UatAccess s = uat_->dataAccess(core, inv.stackHeapVma,
+                                                uat::Perm(uat::Perm::W));
+            uat::UatAccess h = uat_->dataAccess(
+                core, inv.stackHeapVma + fs.stackHeapBytes / 2,
+                uat::Perm(uat::Perm::W));
+            if (!s.ok() || !h.ok())
+                sim::panic("stack/heap access fault");
+            busy += s.latency + h.latency;
+            inv.bd.exec += s.latency + h.latency;
+        }
+
+        if (i < num_calls) {
+            const CallSpec &call = spec.calls[i];
+            busy += issueChild(inv, call, busy);
+            inv.nextCall = i + 1;
+            if (call.sync) {
+                // jord::call: suspend until this child completes.
+                Cycles iso = 0;
+                if (isolated()) {
+                    privlib::PrivResult ex = privlib_->cexit(core);
+                    if (!ex.ok)
+                        sim::panic("suspend cexit failed");
+                    iso = ex.latency;
+                    busy += iso;
+                    inv.bd.isolation += iso;
+                }
+                inv.state = InvState::Suspended;
+                inv.resumeThreshold = inv.pendingChildren - 1;
+                return busy;
+            }
+        } else {
+            inv.nextCall = i + 1;
+        }
+    }
+
+    busy += invocationEpilogue(inv);
+    inv.state = InvState::Done;
+    return busy;
+}
+
+void
+WorkerServer::startInvocation(unsigned exec, Request req)
+{
+    auto owned = std::make_unique<Invocation>();
+    Invocation &inv = *owned;
+    inv.req = std::move(req);
+    inv.exec = exec;
+    inv.serviceStart = events_.curTick();
+    live_[inv.req.id] = std::move(owned);
+
+    const FunctionSpec &spec = registry_.at(inv.req.fn).spec;
+    Cycles total = drawExec(spec);
+    unsigned segs = static_cast<unsigned>(spec.calls.size()) + 1;
+    if (spec.segmentWeights.empty()) {
+        inv.segments.assign(segs, total / segs);
+        inv.segments[0] += total % segs;
+    } else {
+        if (spec.segmentWeights.size() != segs)
+            sim::panic("%s: %zu segment weights for %u segments",
+                       spec.name.c_str(), spec.segmentWeights.size(),
+                       segs);
+        double weight_total = 0;
+        for (double weight : spec.segmentWeights)
+            weight_total += weight;
+        inv.segments.assign(segs, 0);
+        Cycles used = 0;
+        for (unsigned i = 0; i + 1 < segs; ++i) {
+            inv.segments[i] = weight_total > 0
+                                  ? static_cast<Cycles>(
+                                        static_cast<double>(total) *
+                                        spec.segmentWeights[i] /
+                                        weight_total)
+                                  : 0;
+            used += inv.segments[i];
+        }
+        inv.segments[segs - 1] = total - used;
+    }
+
+    Cycles busy = invocationPrologue(inv);
+    busy += runUntilBlocked(inv);
+
+    events_.scheduleAfter(std::max<Cycles>(busy, 1),
+                          [this, exec, id = inv.req.id] {
+                              ExecState &e = execs_[exec];
+                              e.busy = false;
+                              auto it = live_.find(id);
+                              if (it != live_.end() &&
+                                  it->second->state == InvState::Done) {
+                                  finishInvocation(*it->second);
+                              } else {
+                                  // Suspended: free the JBSQ slot.
+                                  --e.outstanding;
+                                  markDirty(e);
+                                  orchDispatchStep(execs_[exec].orch);
+                              }
+                              execStep(exec);
+                          });
+}
+
+void
+WorkerServer::resumeInvocation(unsigned exec, Invocation &inv)
+{
+    ExecState &e = execs_[exec];
+    ++e.outstanding;
+    markDirty(e);
+    inv.state = InvState::Running;
+
+    Cycles busy = consumeChildResults(inv);
+    busy += runUntilBlocked(inv);
+
+    events_.scheduleAfter(std::max<Cycles>(busy, 1),
+                          [this, exec, id = inv.req.id] {
+                              ExecState &ex = execs_[exec];
+                              ex.busy = false;
+                              auto it = live_.find(id);
+                              if (it != live_.end() &&
+                                  it->second->state == InvState::Done) {
+                                  finishInvocation(*it->second);
+                              } else {
+                                  --ex.outstanding;
+                                  markDirty(ex);
+                                  orchDispatchStep(execs_[exec].orch);
+                              }
+                              execStep(exec);
+                          });
+}
+
+void
+WorkerServer::accountInvocation(Invocation &inv)
+{
+    if (!result_ || !inv.req.measured)
+        return;
+    Cycles service = events_.curTick() - inv.serviceStart;
+    double us = sim::cyclesToUs(service, cfg_.machine.freqGhz);
+    result_->serviceUs.record(us);
+    FunctionId fn = inv.req.fn;
+    result_->perFunctionServiceUs[fn].record(us);
+
+    Breakdown bd = inv.bd;
+    Cycles accounted = bd.exec + bd.isolation + bd.dispatch + bd.comm +
+                       bd.pipe;
+    bd.queue = service > accounted ? service - accounted : 0;
+    result_->perFunctionBreakdown[fn] += bd;
+    ++result_->perFunctionCount[fn];
+    result_->totals += bd;
+    ++result_->invocations;
+}
+
+void
+WorkerServer::finishInvocation(Invocation &inv)
+{
+    ExecState &e = execs_[inv.exec];
+    --e.outstanding;
+    markDirty(e);
+    if (cfg_.system == SystemKind::NightCore) {
+        // The worker slot frees at actual completion time, not when the
+        // epilogue's costs were computed.
+        --ntcConcurrency_[inv.req.fn];
+    }
+    accountInvocation(inv);
+
+    unsigned core = coreOfExec(inv.exec);
+    if (inv.req.internal) {
+        ChildResult result{inv.req.argBuf, inv.req.argBytes, core};
+        RequestId parent = inv.req.parent;
+        // Completion notification to the parent's executor.
+        auto pit = live_.find(parent);
+        if (pit == live_.end())
+            sim::panic("orphan child completion");
+        unsigned parent_core = coreOfExec(pit->second->exec);
+        Cycles notify = mesh_->latency(core, parent_core,
+                                       noc::MsgKind::Control) +
+                        kQueueOpCycles;
+        live_.erase(inv.req.id);
+        events_.scheduleAfter(notify, [this, parent, result] {
+            auto it = live_.find(parent);
+            if (it == live_.end())
+                sim::panic("parent vanished before child completion");
+            onChildComplete(*it->second, result);
+        });
+    } else {
+        unsigned orch = inv.req.orch;
+        OrchState &o = orchs_[orch];
+        Cycles notify = coherence_->write(core, o.completionLine).latency +
+                        mesh_->latency(core, o.core,
+                                       noc::MsgKind::Control);
+        RequestId id = inv.req.id;
+        events_.scheduleAfter(notify, [this, orch, id] {
+            orchs_[orch].completions.push_back(id);
+            orchDispatchStep(orch);
+        });
+    }
+    orchDispatchStep(e.orch);
+}
+
+void
+WorkerServer::onChildComplete(Invocation &parent, ChildResult result)
+{
+    if (parent.pendingChildren == 0)
+        sim::panic("child completion with no pending children");
+    --parent.pendingChildren;
+    parent.childResults.push_back(result);
+    if (parent.state == InvState::Suspended &&
+        parent.pendingChildren <= parent.resumeThreshold) {
+        parent.state = InvState::Resumable;
+        execs_[parent.exec].resumable.push_back(parent.req.id);
+        execWake(parent.exec);
+    }
+}
+
+double
+WorkerServer::measureDispatchScanNs()
+{
+    for (auto &e : execs_)
+        markDirty(e);
+    unsigned chosen = 0;
+    Cycles lat = dispatchScan(orchs_[0], 0, chosen);
+    return sim::cyclesToNs(lat, cfg_.machine.freqGhz);
+}
+
+// --- Run loop ----------------------------------------------------------------
+
+RunResult
+WorkerServer::run(double mrps, std::uint64_t num_requests,
+                  const EntryMix &mix, double warmup_frac)
+{
+    if (mix.empty())
+        sim::fatal("empty entry mix");
+    if (mrps <= 0)
+        sim::fatal("offered load must be positive");
+
+    RunResult result;
+    result.offeredMrps = mrps;
+    result.perFunctionServiceUs.resize(registry_.size());
+    result.perFunctionBreakdown.assign(registry_.size(), Breakdown{});
+    result.perFunctionCount.assign(registry_.size(), 0);
+
+    mix_ = mix;
+    mixTotal_ = 0;
+    for (const auto &[fn, weight] : mix_)
+        mixTotal_ += weight;
+
+    events_.reset();
+    live_.clear();
+    for (auto &o : orchs_) {
+        o.external.clear();
+        o.internal.clear();
+        o.completions.clear();
+        o.dispatching = false;
+    }
+    for (auto &e : execs_) {
+        e.queue.clear();
+        e.resumable.clear();
+        e.busy = false;
+        e.outstanding = 0;
+        markDirty(e);
+    }
+
+    // requests/s = mrps * 1e6; cycles/s = freq * 1e9.
+    arrivalMeanCycles_ = cfg_.machine.freqGhz * 1000.0 / mrps;
+    externalLeft_ = num_requests;
+    generated_ = 0;
+    warmupRequests_ = static_cast<std::uint64_t>(
+        static_cast<double>(num_requests) * warmup_frac);
+    result_ = &result;
+    uat_->shootdownLatency().reset();
+
+    Tick start = events_.curTick();
+    scheduleNextArrival();
+    events_.run();
+    Tick end = events_.curTick();
+
+    result_ = nullptr;
+    double elapsed_us =
+        sim::cyclesToUs(end - start, cfg_.machine.freqGhz);
+    double measured_frac =
+        num_requests
+            ? static_cast<double>(num_requests - warmupRequests_) /
+                  static_cast<double>(num_requests)
+            : 0;
+    if (elapsed_us > 0) {
+        result.achievedMrps =
+            static_cast<double>(result.completedRequests) /
+            (elapsed_us * measured_frac + 1e-9);
+        const Breakdown &bd = result.totals;
+        double busy_us = sim::cyclesToUs(bd.exec + bd.isolation +
+                                             bd.comm + bd.pipe,
+                                         cfg_.machine.freqGhz);
+        result.executorUtilization =
+            busy_us / (elapsed_us * measured_frac *
+                           static_cast<double>(execs_.size()) +
+                       1e-9);
+    }
+    result.shootdownNs.merge(uat_->shootdownLatency());
+    return result;
+}
+
+} // namespace jord::runtime

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * WorkerServer: a complete Jord (or baseline) worker server (Fig. 3).
+ *
+ * Assembles the machine model (mesh, coherence, UAT hardware, PrivLib,
+ * kernel), partitions cores into orchestrators and executors, and runs
+ * open-loop Poisson workloads through the Fig. 4 invocation flow. The
+ * same class models all four evaluated systems (§5): Jord, Jord_NI
+ * (isolation bypassed), Jord_BT (B-tree VMA table) and the enhanced
+ * NightCore baseline (pipes instead of zero-copy ArgBufs).
+ */
+
+#ifndef JORD_RUNTIME_WORKER_HH
+#define JORD_RUNTIME_WORKER_HH
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baseline/nightcore.hh"
+#include "mem/coherence.hh"
+#include "noc/mesh.hh"
+#include "os/kernel.hh"
+#include "privlib/privlib.hh"
+#include "runtime/registry.hh"
+#include "runtime/request.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "stats/sampler.hh"
+#include "uat/btree_table.hh"
+#include "uat/uat_system.hh"
+
+namespace jord::runtime {
+
+/** Worker-server configuration. */
+struct WorkerConfig {
+    sim::MachineConfig machine = sim::MachineConfig::isca25Default();
+    SystemKind system = SystemKind::Jord;
+    /** Orchestrator threads; the rest of the cores run executors.
+     * Nested invocations are dispatched by orchestrators too (§3.3),
+     * so communication-heavy workloads need several of them. */
+    unsigned numOrchestrators = 4;
+    /**
+     * With multiple sockets, pin one orchestrator group per socket and
+     * dispatch only within it (the §6.3 mitigation). When false a
+     * single orchestrator may manage executors across sockets (used to
+     * measure the Fig. 14 dispatch curve).
+     */
+    bool perSocketOrchestrators = true;
+    /** JBSQ bound: max outstanding external requests per executor. */
+    unsigned jbsqBound = 3;
+    /** Memory-level parallelism of the dispatch queue-length scan. */
+    unsigned dispatchMlp = 8;
+    /** Cap on ArgBuf cache blocks transferred per request (~15 avg). */
+    unsigned argBlockCap = 32;
+    std::uint64_t seed = 42;
+    baseline::PipeCosts pipeCosts;
+    baseline::ProvisioningModel provisioning;
+};
+
+/** Weighted entry-point mix for external requests. */
+using EntryMix = std::vector<std::pair<FunctionId, double>>;
+
+/** Results of one load run. */
+struct RunResult {
+    double offeredMrps = 0;
+    double achievedMrps = 0;
+    /** End-to-end request latency (µs), measured window only. */
+    stats::Sampler latencyUs;
+    /** Per-invocation service time (µs), dequeue -> completion. */
+    stats::Sampler serviceUs;
+    /** Per-function service-time samplers (µs), by FunctionId. */
+    std::vector<stats::Sampler> perFunctionServiceUs;
+    /** Per-function overhead breakdowns, summed over invocations. */
+    std::vector<Breakdown> perFunctionBreakdown;
+    std::vector<std::uint64_t> perFunctionCount;
+    /** Aggregate breakdown over all invocations. */
+    Breakdown totals;
+    std::uint64_t invocations = 0;
+    std::uint64_t completedRequests = 0;
+    /** Mean executor busy fraction over the measured window. */
+    double executorUtilization = 0;
+    /** Dispatch-decision latency samples (ns), Fig. 14. */
+    stats::Sampler dispatchNs;
+    /** VLB shootdown fan-out latency samples (ns), Fig. 14. */
+    stats::Sampler shootdownNs;
+};
+
+/**
+ * The worker server.
+ */
+class WorkerServer
+{
+  public:
+    WorkerServer(WorkerConfig cfg, FunctionRegistry registry);
+    ~WorkerServer();
+
+    WorkerServer(const WorkerServer &) = delete;
+    WorkerServer &operator=(const WorkerServer &) = delete;
+
+    /**
+     * Run an open-loop Poisson load.
+     *
+     * @param mrps Offered load in million requests per second.
+     * @param num_requests External requests to generate.
+     * @param mix Entry-function mix (weights need not sum to 1).
+     * @param warmup_frac Fraction of requests excluded from metrics.
+     */
+    RunResult run(double mrps, std::uint64_t num_requests,
+                  const EntryMix &mix, double warmup_frac = 0.2);
+
+    // --- Component access (tests, benches) ---
+    sim::EventQueue &eventQueue() { return events_; }
+    mem::CoherenceEngine &coherence() { return *coherence_; }
+    uat::UatSystem &uat() { return *uat_; }
+    privlib::PrivLib &privlib() { return *privlib_; }
+    os::Kernel &kernel() { return *kernel_; }
+    FunctionRegistry &registry() { return registry_; }
+    const WorkerConfig &config() const { return cfg_; }
+    unsigned numExecutors() const
+    {
+        return static_cast<unsigned>(execs_.size());
+    }
+
+    /**
+     * Worst-case dispatch-scan latency in ns: orchestrator 0 reads the
+     * queue-length line of every executor it manages, all of which have
+     * been written since its last scan (the loaded steady state of
+     * Fig. 14's dispatch series).
+     */
+    double measureDispatchScanNs();
+
+  private:
+    struct ExecState {
+        unsigned core = 0;
+        unsigned orch = 0;
+        std::deque<Request> queue;
+        std::deque<RequestId> resumable;
+        bool busy = false;
+        /** Queue-length line changed since each orchestrator's last
+         * scan (per-orchestrator coherence view). */
+        std::vector<bool> dirtyFor;
+        /** Outstanding = queued + running (JBSQ counter). */
+        unsigned outstanding = 0;
+        sim::Addr queueLine = 0;
+    };
+
+    struct OrchState {
+        unsigned core = 0;
+        std::deque<Request> external;
+        std::deque<Request> internal;
+        /** Completed external requests awaiting response processing. */
+        std::deque<RequestId> completions;
+        std::vector<unsigned> execs; ///< executor indices it manages
+        bool dispatching = false;
+        unsigned rr = 0; ///< tie-break rotation
+        sim::Addr completionLine = 0;
+    };
+
+    WorkerConfig cfg_;
+    FunctionRegistry registry_;
+    sim::EventQueue events_;
+    sim::Rng rng_;
+    std::unique_ptr<noc::Mesh> mesh_;
+    std::unique_ptr<mem::CoherenceEngine> coherence_;
+    std::unique_ptr<uat::VmaTableBase> table_;
+    std::unique_ptr<uat::UatSystem> uat_;
+    std::unique_ptr<os::Kernel> kernel_;
+    std::unique_ptr<privlib::PrivLib> privlib_;
+
+    std::vector<OrchState> orchs_;
+    std::vector<ExecState> execs_;
+    std::unordered_map<RequestId, std::unique_ptr<Invocation>> live_;
+
+    RequestId nextRequestId_ = 1;
+    std::uint64_t externalLeft_ = 0;
+    double arrivalMeanCycles_ = 0;
+    EntryMix mix_;
+    double mixTotal_ = 0;
+    unsigned rrOrch_ = 0;
+
+    // Measurement window control.
+    std::uint64_t warmupRequests_ = 0;
+    std::uint64_t generated_ = 0;
+    sim::Tick windowStart_ = 0;
+    RunResult *result_ = nullptr;
+
+    // NightCore provisioning state.
+    std::vector<unsigned> ntcConcurrency_;
+    std::vector<unsigned> ntcProvisioned_;
+
+    /** Runtime (executor/orchestrator) code VMA for I-VLB behaviour. */
+    sim::Addr runtimeCodeVma_ = 0;
+
+    bool isJordFamily() const { return cfg_.system != SystemKind::NightCore; }
+    bool isolated() const { return cfg_.system == SystemKind::Jord ||
+                                   cfg_.system == SystemKind::JordBT; }
+
+    // --- Load generation ---
+    void scheduleNextArrival();
+    void onExternalArrival();
+    FunctionId sampleEntry();
+
+    // --- Orchestrator ---
+    void orchEnqueue(unsigned orch, Request req);
+    void orchDispatchStep(unsigned orch);
+    sim::Cycles dispatchScan(OrchState &orch, unsigned orch_idx,
+                             unsigned &chosen);
+    /** Mark an executor's queue-length line dirty for every orch. */
+    void markDirty(ExecState &exec);
+    /** Next round-robin orchestrator on @p socket. */
+    unsigned pickOrch(unsigned socket);
+    unsigned m_socketOfCore(unsigned core) const;
+
+    // --- Executor ---
+    void execWake(unsigned exec);
+    void execStep(unsigned exec);
+    void startInvocation(unsigned exec, Request req);
+    void resumeInvocation(unsigned exec, Invocation &inv);
+    /**
+     * Run the invocation from its current point until it suspends or
+     * finishes; returns busy cycles consumed. Child submissions are
+     * scheduled at their in-run offsets.
+     */
+    sim::Cycles runUntilBlocked(Invocation &inv);
+    sim::Cycles invocationPrologue(Invocation &inv);
+    sim::Cycles invocationEpilogue(Invocation &inv);
+    sim::Cycles issueChild(Invocation &inv, const CallSpec &call,
+                           sim::Cycles offset);
+    sim::Cycles consumeChildResults(Invocation &inv);
+    void finishInvocation(Invocation &inv);
+    void onChildComplete(Invocation &parent, ChildResult result);
+
+    // --- Shared helpers ---
+    sim::Cycles touchArgBuf(unsigned core, sim::Addr va,
+                            std::uint64_t bytes, bool write);
+    sim::Cycles drawExec(const FunctionSpec &spec);
+    void accountInvocation(Invocation &inv);
+    unsigned coreOfExec(unsigned exec) const { return execs_[exec].core; }
+};
+
+} // namespace jord::runtime
+
+#endif // JORD_RUNTIME_WORKER_HH

@@ -1,0 +1,99 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace jord::sim {
+
+std::uint64_t
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    if (when < curTick_)
+        panic("scheduling event in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick_));
+    std::uint64_t handle = nextHandle_++;
+    heap_.push(Entry{when, nextSeq_++, handle, std::move(fn)});
+    return handle;
+}
+
+bool
+EventQueue::isCancelled(std::uint64_t handle) const
+{
+    return std::find(cancelled_.begin(), cancelled_.end(), handle) !=
+           cancelled_.end();
+}
+
+void
+EventQueue::forgetCancelled(std::uint64_t handle)
+{
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), handle);
+    if (it != cancelled_.end())
+        cancelled_.erase(it);
+}
+
+bool
+EventQueue::cancel(std::uint64_t handle)
+{
+    if (handle == 0 || handle >= nextHandle_ || isCancelled(handle))
+        return false;
+    // We cannot cheaply verify the handle is still in the heap; record it
+    // and filter at dispatch. Handles are unique, so a stale cancel of an
+    // already-fired event leaves a harmless tombstone that is never matched.
+    cancelled_.push_back(handle);
+    return true;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry entry = heap_.top();
+        heap_.pop();
+        if (isCancelled(entry.handle)) {
+            forgetCancelled(entry.handle);
+            continue;
+        }
+        curTick_ = entry.when;
+        ++numDispatched_;
+        entry.fn();
+        return true;
+    }
+    return false;
+}
+
+Tick
+EventQueue::run()
+{
+    while (step()) {
+    }
+    return curTick_;
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty()) {
+        if (heap_.top().when > limit)
+            break;
+        step();
+    }
+    if (curTick_ < limit && heap_.empty())
+        curTick_ = limit;
+    else if (curTick_ < limit)
+        curTick_ = limit;
+    return curTick_;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = Heap();
+    curTick_ = 0;
+    nextSeq_ = 0;
+    numDispatched_ = 0;
+    cancelled_.clear();
+}
+
+} // namespace jord::sim

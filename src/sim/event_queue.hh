@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events scheduled at the same tick fire in insertion order (FIFO), which
+ * together with the seeded RNG makes every simulation run bit-reproducible.
+ */
+
+#ifndef JORD_SIM_EVENT_QUEUE_HH
+#define JORD_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace jord::sim {
+
+/** Callback type invoked when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A time-ordered queue of callbacks with deterministic tie-breaking.
+ *
+ * The queue owns the notion of "now": curTick() advances only as events are
+ * dispatched. Clients schedule callbacks at absolute ticks or relative
+ * delays and drive the simulation with run() / runUntil() / step().
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time in ticks. */
+    Tick curTick() const { return curTick_; }
+
+    /** Number of pending events. */
+    std::size_t size() const { return heap_.size(); }
+
+    /** True when no events are pending. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Total number of events dispatched so far. */
+    std::uint64_t numDispatched() const { return numDispatched_; }
+
+    /**
+     * Schedule a callback at an absolute tick.
+     *
+     * @param when Absolute tick; must not be in the past.
+     * @param fn Callback to invoke.
+     * @return A handle that can be passed to cancel().
+     */
+    std::uint64_t schedule(Tick when, EventFn fn);
+
+    /** Schedule a callback @p delay ticks after the current time. */
+    std::uint64_t
+    scheduleAfter(Cycles delay, EventFn fn)
+    {
+        return schedule(curTick_ + delay, std::move(fn));
+    }
+
+    /**
+     * Cancel a previously scheduled event.
+     *
+     * @retval true if the event was pending and is now cancelled.
+     * @retval false if it already fired or was already cancelled.
+     */
+    bool cancel(std::uint64_t handle);
+
+    /**
+     * Dispatch the single next event.
+     *
+     * @retval true an event was dispatched.
+     * @retval false the queue was empty.
+     */
+    bool step();
+
+    /** Run until the queue drains. @return final tick. */
+    Tick run();
+
+    /**
+     * Run until the queue drains or simulated time would exceed @p limit.
+     * Events scheduled exactly at @p limit still fire.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        std::uint64_t handle;
+        EventFn fn;
+
+        bool
+        operator>(const Entry &other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    using Heap = std::priority_queue<Entry, std::vector<Entry>,
+                                     std::greater<Entry>>;
+
+    Heap heap_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextHandle_ = 1;
+    std::uint64_t numDispatched_ = 0;
+    /** Handles cancelled while still in the heap (lazy deletion). */
+    std::vector<std::uint64_t> cancelled_;
+
+    bool isCancelled(std::uint64_t handle) const;
+    void forgetCancelled(std::uint64_t handle);
+};
+
+} // namespace jord::sim
+
+#endif // JORD_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,66 @@
+#include "sim/machine.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace jord::sim {
+
+MachineConfig
+MachineConfig::isca25Default()
+{
+    return MachineConfig{};
+}
+
+MachineConfig
+MachineConfig::fpgaPrototype()
+{
+    MachineConfig cfg;
+    cfg.profile = MachineProfile::Fpga;
+    // The XCVU19P board only fits two OpenXiangShan cores (§5).
+    cfg.numCores = 2;
+    cfg.meshCols = 2;
+    cfg.meshRows = 1;
+    return cfg;
+}
+
+MachineConfig
+MachineConfig::scaled(unsigned num_cores, unsigned num_sockets)
+{
+    if (num_cores == 0 || num_sockets == 0 ||
+        num_cores % num_sockets != 0) {
+        fatal("invalid scaled machine: %u cores over %u sockets",
+              num_cores, num_sockets);
+    }
+    MachineConfig cfg;
+    cfg.numCores = num_cores;
+    cfg.numSockets = num_sockets;
+
+    // Resize the per-socket mesh to the most square rectangle that holds
+    // cores_per_socket tiles, keeping cols >= rows like the 8x4 default.
+    unsigned per_socket = num_cores / num_sockets;
+    unsigned rows = static_cast<unsigned>(std::sqrt(per_socket));
+    while (rows > 1 && per_socket % rows != 0)
+        --rows;
+    unsigned cols = per_socket / rows;
+    if (cols < rows)
+        std::swap(cols, rows);
+    cfg.meshCols = cols;
+    cfg.meshRows = rows;
+    return cfg;
+}
+
+std::string
+MachineConfig::describe() const
+{
+    return strprintf(
+        "%u-core %.1f GHz, %u socket(s), %ux%u mesh/socket, "
+        "L1 %llu cyc, LLC %llu cyc, hop %llu cyc, %s",
+        numCores, freqGhz, numSockets, meshCols, meshRows,
+        static_cast<unsigned long long>(l1HitCycles),
+        static_cast<unsigned long long>(llcHitCycles),
+        static_cast<unsigned long long>(hopCycles),
+        profile == MachineProfile::Fpga ? "FPGA profile" : "simulator");
+}
+
+} // namespace jord::sim

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental simulation types: ticks, cycles, time conversion.
+ *
+ * The simulator advances in integer ticks. One tick equals one core clock
+ * cycle of the modelled machine (4 GHz by default, Table 2 of the paper),
+ * so 1 tick = 0.25 ns at the default frequency. All latency parameters in
+ * the machine configuration are expressed in cycles; statistics convert to
+ * nanoseconds/microseconds at reporting time.
+ */
+
+#ifndef JORD_SIM_TYPES_HH
+#define JORD_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace jord::sim {
+
+/** Simulated time in core clock cycles. */
+using Tick = std::uint64_t;
+
+/** A (virtual or physical) memory address in the modelled machine. */
+using Addr = std::uint64_t;
+
+/** Cache block size in bytes; the coherence unit (Table 2). */
+inline constexpr std::uint64_t kCacheBlockBytes = 64;
+
+/** Align an address down to its cache block. */
+inline constexpr Addr
+blockAlign(Addr addr)
+{
+    return addr & ~(kCacheBlockBytes - 1);
+}
+
+/** A duration in core clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Sentinel for "no deadline" / "never". */
+inline constexpr Tick kTickMax = std::numeric_limits<Tick>::max();
+
+/** Default core clock frequency in GHz (Table 2). */
+inline constexpr double kDefaultFreqGhz = 4.0;
+
+/** Convert a cycle count to nanoseconds at a given frequency. */
+inline constexpr double
+cyclesToNs(Cycles cycles, double freq_ghz = kDefaultFreqGhz)
+{
+    return static_cast<double>(cycles) / freq_ghz;
+}
+
+/** Convert a cycle count to microseconds at a given frequency. */
+inline constexpr double
+cyclesToUs(Cycles cycles, double freq_ghz = kDefaultFreqGhz)
+{
+    return cyclesToNs(cycles, freq_ghz) / 1000.0;
+}
+
+/** Convert nanoseconds to cycles (rounding to nearest) at a frequency. */
+inline constexpr Cycles
+nsToCycles(double ns, double freq_ghz = kDefaultFreqGhz)
+{
+    return static_cast<Cycles>(ns * freq_ghz + 0.5);
+}
+
+/** Convert microseconds to cycles at a given frequency. */
+inline constexpr Cycles
+usToCycles(double us, double freq_ghz = kDefaultFreqGhz)
+{
+    return nsToCycles(us * 1000.0, freq_ghz);
+}
+
+} // namespace jord::sim
+
+#endif // JORD_SIM_TYPES_HH

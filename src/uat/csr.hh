@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Jord's user-level control and status registers (§4.1, §4.3).
+ *
+ * uatp holds the VMA table base and the enable bit; uatc describes the
+ * VA encoding scheme; ucid names the protection domain the core is
+ * currently executing in. All three are writable only by code running
+ * with the P bit set — the decoder marks other writers illegal.
+ */
+
+#ifndef JORD_UAT_CSR_HH
+#define JORD_UAT_CSR_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+#include "uat/vte.hh"
+
+namespace jord::uat {
+
+/** Which UAT CSR an instruction names. */
+enum class UatCsr {
+    Uatp, ///< User Address Translation and Protection
+    Uatc, ///< User Address Translation Configuration
+    Ucid, ///< User Continuation ID
+};
+
+/**
+ * Per-core (per-hart) UAT CSR file. Saved/restored by the OS as part of
+ * the process context (§4.4).
+ */
+struct UatCsrFile {
+    /** VMA table base address; bit 0 is the enable flag. */
+    std::uint64_t uatp = 0;
+    /** Encoding descriptor (opaque to hardware outside the VTW). */
+    std::uint64_t uatc = 0;
+    /** Currently executing continuation/PD. */
+    PdId ucid = 0;
+
+    bool enabled() const { return uatp & 1; }
+
+    sim::Addr
+    tableBase() const
+    {
+        return uatp & ~0xfffull;
+    }
+
+    void
+    setUatp(sim::Addr table_base, bool enable)
+    {
+        uatp = (table_base & ~0xfffull) | (enable ? 1 : 0);
+    }
+};
+
+} // namespace jord::uat
+
+#endif // JORD_UAT_CSR_HH

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Hardware fault kinds raised by the UAT access path (§3.1, §4.3).
+ */
+
+#ifndef JORD_UAT_FAULT_HH
+#define JORD_UAT_FAULT_HH
+
+namespace jord::uat {
+
+/** Why an access was refused. */
+enum class Fault {
+    None,             ///< access permitted
+    NotUatVa,         ///< VA outside the UAT region (page-table path)
+    NotMapped,        ///< no valid VMA covers the VA
+    OutOfBound,       ///< inside the chunk but beyond the VMA's bound
+    NoPermission,     ///< VMA mapped but PD lacks the needed permission
+    PrivilegedAccess, ///< P-bit VMA touched by non-privileged code
+    BadGate,          ///< privileged entry not through a uatg gate
+    IllegalCsr,       ///< uatp/uatc/ucid access without the P bit
+};
+
+/** Human-readable fault name. */
+inline const char *
+faultName(Fault fault)
+{
+    switch (fault) {
+      case Fault::None: return "none";
+      case Fault::NotUatVa: return "not-uat-va";
+      case Fault::NotMapped: return "not-mapped";
+      case Fault::OutOfBound: return "out-of-bound";
+      case Fault::NoPermission: return "no-permission";
+      case Fault::PrivilegedAccess: return "privileged-access";
+      case Fault::BadGate: return "bad-gate";
+      case Fault::IllegalCsr: return "illegal-csr";
+    }
+    return "unknown";
+}
+
+} // namespace jord::uat
+
+#endif // JORD_UAT_FAULT_HH

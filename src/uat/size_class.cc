@@ -1,0 +1,77 @@
+#include "uat/size_class.hh"
+
+#include <bit>
+
+#include "sim/logging.hh"
+
+namespace jord::uat {
+
+using sim::Addr;
+
+VaEncoding::VaEncoding(std::uint64_t table_capacity)
+    : tableCapacity_(table_capacity)
+{
+    if (table_capacity < kNumSizeClasses)
+        sim::fatal("VMA table capacity %llu below one VTE per class",
+                   static_cast<unsigned long long>(table_capacity));
+}
+
+std::optional<unsigned>
+VaEncoding::classForSize(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return std::nullopt;
+    std::uint64_t rounded = std::bit_ceil(bytes);
+    unsigned shift = static_cast<unsigned>(std::countr_zero(rounded));
+    unsigned sc = shift <= kMinClassShift ? 0 : shift - kMinClassShift;
+    if (sc >= kNumSizeClasses)
+        return std::nullopt;
+    return sc;
+}
+
+Addr
+VaEncoding::encode(unsigned sc, std::uint64_t index) const
+{
+    if (sc >= kNumSizeClasses)
+        sim::panic("size class %u out of range", sc);
+    if (index >= indicesPerClass(sc))
+        sim::panic("VMA index %llu exceeds class-%u capacity %llu",
+                   static_cast<unsigned long long>(index), sc,
+                   static_cast<unsigned long long>(
+                       indicesPerClass(sc)));
+    unsigned offset_bits = kMinClassShift + sc;
+    Addr va = kTopPattern << kTopShift;
+    va |= static_cast<Addr>(sc) << kClassShift;
+    va |= index << offset_bits;
+    return va;
+}
+
+std::optional<DecodedVa>
+VaEncoding::decode(Addr va) const
+{
+    if (!inUatRegion(va))
+        return std::nullopt;
+    unsigned sc = static_cast<unsigned>((va >> kClassShift) & kClassMask);
+    if (sc >= kNumSizeClasses)
+        return std::nullopt;
+    unsigned offset_bits = kMinClassShift + sc;
+    std::uint64_t body = va & ((1ull << kClassShift) - 1);
+    DecodedVa decoded;
+    decoded.sizeClass = sc;
+    decoded.index = body >> offset_bits;
+    decoded.offset = body & ((1ull << offset_bits) - 1);
+    if (decoded.index >= indicesPerClass(sc))
+        return std::nullopt;
+    return decoded;
+}
+
+std::optional<Addr>
+VaEncoding::vmaBase(Addr va) const
+{
+    auto decoded = decode(va);
+    if (!decoded)
+        return std::nullopt;
+    return encode(decoded->sizeClass, decoded->index);
+}
+
+} // namespace jord::uat

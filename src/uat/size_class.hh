@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Size-class-embedded virtual-address encoding (Fig. 6).
+ *
+ * Jord statically partitions the reserved virtual address range among
+ * size classes by embedding the size-class id in the VA. This makes the
+ * VMA table a *plain list*: the address of the VMA table entry (VTE) for
+ * a VA is a pure function of the VA, so both hardware (VTW) and software
+ * (PrivLib) locate it without any pointer chasing:
+ *
+ *     A_VTE = A_base + f(SC_vma, Index_vma) * sizeof(VTE)
+ *
+ * with f(sc, idx) = idx * numClasses + sc (even interleaving, §4.1).
+ *
+ * Layout (48-bit Sv48-style VA):
+ *
+ *     [47:46] Top pattern (0b01 selects the UAT region)
+ *     [45:41] size class id (5 bits; 26 classes -> the paper's 5-bit
+ *             ASLR entropy reduction)
+ *     [40: 7+k] index within the class (class k has chunk size 2^(7+k))
+ *     [6+k : 0] offset within the VMA
+ *
+ * Size classes are all powers of two from 128 B (class 0) to 4 GB
+ * (class 25), matching §4.1.
+ */
+
+#ifndef JORD_UAT_SIZE_CLASS_HH
+#define JORD_UAT_SIZE_CLASS_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace jord::uat {
+
+/** Number of size classes (powers of two, 128 B .. 4 GB). */
+inline constexpr unsigned kNumSizeClasses = 26;
+
+/** log2 of the smallest class's chunk size. */
+inline constexpr unsigned kMinClassShift = 7; // 128 B
+
+/** Top-pattern selector bits: VA[47:44] == 0b0101 selects the UAT
+ * region (0x5000'0000'0000 .. 0x5fff'ffff'ffff), disjoint from the
+ * conventional mmap (0x7f..) and text/heap (low) ranges. */
+inline constexpr unsigned kTopShift = 44;
+inline constexpr std::uint64_t kTopPattern = 0b0101;
+inline constexpr std::uint64_t kTopMask = 0xf;
+
+/** Size-class field position. */
+inline constexpr unsigned kClassShift = 39;
+inline constexpr std::uint64_t kClassMask = 0x1f;
+
+/** Decoded pieces of a UAT virtual address. */
+struct DecodedVa {
+    unsigned sizeClass;   ///< class id in [0, kNumSizeClasses)
+    std::uint64_t index;  ///< VMA index within the class
+    std::uint64_t offset; ///< byte offset inside the VMA chunk
+};
+
+/**
+ * The VA-encoding configuration held in the uatc CSR (§4.1).
+ */
+class VaEncoding
+{
+  public:
+    /**
+     * @param table_capacity Total number of VTEs the VMA table holds
+     * (64 MB / 64 B = 1 Mi by default); bounds per-class indices.
+     */
+    explicit VaEncoding(std::uint64_t table_capacity = (64ull << 20) / 64);
+
+    /** Chunk size in bytes of class @p sc. */
+    static std::uint64_t
+    classSize(unsigned sc)
+    {
+        return 1ull << (kMinClassShift + sc);
+    }
+
+    /** Smallest class whose chunk holds @p bytes; nullopt if too big. */
+    static std::optional<unsigned> classForSize(std::uint64_t bytes);
+
+    /** True if @p va carries the UAT top pattern. */
+    static bool
+    inUatRegion(sim::Addr va)
+    {
+        return ((va >> kTopShift) & kTopMask) == kTopPattern;
+    }
+
+    /**
+     * Number of VMAs class @p sc can hold: bounded by its share of the
+     * VMA table and by the width of its index field (large classes
+     * have wide offsets, so fewer index bits, Fig. 6).
+     */
+    std::uint64_t
+    indicesPerClass(unsigned sc) const
+    {
+        unsigned offset_bits = kMinClassShift + sc;
+        std::uint64_t field = 1ull << (kClassShift - offset_bits);
+        std::uint64_t share = tableCapacity_ / kNumSizeClasses;
+        return field < share ? field : share;
+    }
+
+    std::uint64_t tableCapacity() const { return tableCapacity_; }
+
+    /**
+     * Compose the base VA of (class, index). Panics if out of range
+     * (callers validate against indicesPerClass()).
+     */
+    sim::Addr encode(unsigned sc, std::uint64_t index) const;
+
+    /** Decompose a VA; nullopt if it is outside the UAT region. */
+    std::optional<DecodedVa> decode(sim::Addr va) const;
+
+    /**
+     * Plain-list slot of (class, index): the interleaving function f.
+     * Slot * sizeof(VTE) added to the table base gives the VTE address.
+     */
+    std::uint64_t
+    slotOf(unsigned sc, std::uint64_t index) const
+    {
+        return index * kNumSizeClasses + sc;
+    }
+
+    /** Inverse of slotOf. */
+    DecodedVa
+    slotToClassIndex(std::uint64_t slot) const
+    {
+        return DecodedVa{static_cast<unsigned>(slot % kNumSizeClasses),
+                         slot / kNumSizeClasses, 0};
+    }
+
+    /** Base VA (offset zeroed) of the VMA containing @p va. */
+    std::optional<sim::Addr> vmaBase(sim::Addr va) const;
+
+  private:
+    std::uint64_t tableCapacity_;
+};
+
+} // namespace jord::uat
+
+#endif // JORD_UAT_SIZE_CLASS_HH

@@ -1,0 +1,271 @@
+#include "uat/uat_system.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace jord::uat {
+
+using sim::Addr;
+using sim::Cycles;
+
+UatSystem::UatSystem(const sim::MachineConfig &cfg,
+                     mem::CoherenceEngine &coherence, VmaTableBase &table)
+    : cfg_(cfg),
+      coherence_(coherence),
+      table_(table),
+      vtd_(cfg, coherence.mesh()),
+      csrs_(cfg.numCores),
+      pbit_(cfg.numCores, false)
+{
+    ivlbs_.reserve(cfg.numCores);
+    dvlbs_.reserve(cfg.numCores);
+    for (unsigned core = 0; core < cfg.numCores; ++core) {
+        ivlbs_.push_back(std::make_unique<Vlb>(cfg.ivlbEntries));
+        dvlbs_.push_back(std::make_unique<Vlb>(cfg.dvlbEntries));
+        csrs_[core].setUatp(table.baseAddr(), true);
+    }
+    coherence.setTranslationObserver(this);
+}
+
+UatSystem::~UatSystem()
+{
+    coherence_.setTranslationObserver(nullptr);
+}
+
+UatSystem::WalkOutcome
+UatSystem::vtwWalk(unsigned core, Addr va, PdId pd, Vlb &target)
+{
+    WalkOutcome out;
+    out.latency = kVtwOverheadCycles;
+
+    TableWalk walk = table_.walk(va);
+    for (Addr block : walk.readAddrs)
+        out.latency += coherence_.read(core, block, true).latency;
+
+    if (!walk.vte || !walk.vte->valid()) {
+        out.fault = walk.vteAddr == 0 && walk.readAddrs.empty()
+                        ? Fault::NotUatVa
+                        : Fault::NotMapped;
+        return out;
+    }
+
+    const Vte &vte = *walk.vte;
+    auto perm = table_.permFor(vte, pd);
+    if (!perm) {
+        out.fault = Fault::NoPermission;
+        return out;
+    }
+
+    out.entry.valid = true;
+    out.entry.vteAddr = walk.vteAddr;
+    out.entry.base = walk.vmaBase;
+    out.entry.bound = vte.bound;
+    out.entry.offs = vte.offs();
+    out.entry.perm = *perm;
+    out.entry.pbit = vte.privileged();
+    out.entry.global = vte.global();
+    out.entry.pd = pd;
+    target.insert(out.entry);
+    return out;
+}
+
+UatAccess
+UatSystem::resolve(unsigned core, Addr va, Perm need, Vlb &vlb)
+{
+    UatAccess acc;
+    const UatCsrFile &csr = csrs_[core];
+    if (!csr.enabled() || !VaEncoding::inUatRegion(va)) {
+        acc.fault = Fault::NotUatVa;
+        return acc;
+    }
+
+    PdId pd = csr.ucid;
+    VlbEntry entry;
+    if (auto hit = vlb.lookup(va, pd)) {
+        entry = *hit;
+        acc.vlbHit = true;
+        // VLB probe overlaps the L1 access: no extra latency.
+    } else {
+        WalkOutcome walk = vtwWalk(core, va, pd, vlb);
+        acc.latency += walk.latency;
+        if (walk.fault != Fault::None) {
+            acc.fault = walk.fault;
+            return acc;
+        }
+        entry = walk.entry;
+    }
+
+    if (va - entry.base >= entry.bound) {
+        // Inside the size-class chunk but past the VMA's bound.
+        acc.fault = Fault::OutOfBound;
+        return acc;
+    }
+    if (entry.pbit && !pbit_[core] && !need.covers(Perm(Perm::X))) {
+        // Explicit load/store to a privileged VMA from unprivileged code.
+        acc.fault = Fault::PrivilegedAccess;
+        return acc;
+    }
+    if (!entry.perm.covers(need)) {
+        acc.fault = Fault::NoPermission;
+        return acc;
+    }
+    acc.pa = static_cast<Addr>(static_cast<std::int64_t>(va) +
+                               entry.offs);
+    acc.pbit = entry.pbit;
+    return acc;
+}
+
+UatAccess
+UatSystem::dataAccess(unsigned core, Addr va, Perm need)
+{
+    return resolve(core, va, need, *dvlbs_[core]);
+}
+
+UatAccess
+UatSystem::fetch(unsigned core, Addr va)
+{
+    UatAccess acc = resolve(core, va, Perm(Perm::X), *ivlbs_[core]);
+    if (!acc.ok())
+        return acc;
+    bool was_priv = pbit_[core];
+    if (!was_priv && acc.pbit && !isGate(va)) {
+        // 0 -> 1 transition of the P bit must land on a uatg gate.
+        acc.fault = Fault::BadGate;
+        return acc;
+    }
+    pbit_[core] = acc.pbit;
+    return acc;
+}
+
+void
+UatSystem::addGate(Addr va)
+{
+    gates_.insert(va);
+}
+
+bool
+UatSystem::isGate(Addr va) const
+{
+    return gates_.count(va) != 0;
+}
+
+Fault
+UatSystem::writeCsr(unsigned core, UatCsr which, std::uint64_t value)
+{
+    if (!pbit_[core])
+        return Fault::IllegalCsr;
+    switch (which) {
+      case UatCsr::Uatp:
+        csrs_[core].uatp = value;
+        break;
+      case UatCsr::Uatc:
+        csrs_[core].uatc = value;
+        break;
+      case UatCsr::Ucid:
+        if (value > kMaxPdId)
+            return Fault::IllegalCsr;
+        csrs_[core].ucid = static_cast<PdId>(value);
+        break;
+    }
+    return Fault::None;
+}
+
+Fault
+UatSystem::readCsr(unsigned core, UatCsr which, std::uint64_t &value) const
+{
+    if (!pbit_[core])
+        return Fault::IllegalCsr;
+    switch (which) {
+      case UatCsr::Uatp:
+        value = csrs_[core].uatp;
+        break;
+      case UatCsr::Uatc:
+        value = csrs_[core].uatc;
+        break;
+      case UatCsr::Ucid:
+        value = csrs_[core].ucid;
+        break;
+    }
+    return Fault::None;
+}
+
+Cycles
+UatSystem::vteRead(unsigned core, Addr vte_addr)
+{
+    return coherence_.read(core, vte_addr, true).latency;
+}
+
+Cycles
+UatSystem::vteWrite(unsigned core, Addr vte_addr)
+{
+    return coherence_.write(core, vte_addr, true).latency;
+}
+
+// --- TranslationObserver ------------------------------------------------
+
+void
+UatSystem::translationRead(unsigned core, Addr addr)
+{
+    vtd_.addSharer(addr, core);
+}
+
+Cycles
+UatSystem::translationWrite(unsigned core, Addr addr,
+                            const mem::CoreMask &dir)
+{
+    vtd_.mutableStats().writes++;
+    mem::CoreMask targets;
+    if (auto tracked = vtd_.sharers(addr)) {
+        targets = *tracked;
+    } else {
+        // Untracked: fall back pessimistically to the directory sharers.
+        targets = dir;
+        vtd_.mutableStats().pessimistic++;
+    }
+    vtd_.remove(addr);
+
+    unsigned home = coherence_.mesh().homeSlice(addr, core);
+    Cycles full_worst = 0; // total shootdown completion time
+    targets.forEach([&](unsigned sharer) {
+        ivlbs_[sharer]->invalidateVte(addr);
+        dvlbs_[sharer]->invalidateVte(addr);
+        if (sharer == core)
+            return;
+        Cycles rt = coherence_.mesh().roundTrip(home, sharer,
+                                                noc::MsgKind::Control);
+        full_worst = std::max(full_worst, rt);
+    });
+    // The writer's own VLBs are refreshed locally as well.
+    ivlbs_[core]->invalidateVte(addr);
+    dvlbs_[core]->invalidateVte(addr);
+
+    // The invalidation fan-out proceeds in hardware, parallel to the
+    // writer (§4.2/§6.3: the shootdown completes when the furthest core
+    // acks, but the writing core's store completes at the home). Code
+    // that must observe completion (e.g. munmap before memory reuse)
+    // issues an explicit fence; the fan-out latency itself is what
+    // Fig. 14's "VLB shootdown" series reports. Writer-local refreshes
+    // are not shootdowns and are not sampled.
+    if (full_worst > 0)
+        shootdownLatency_.record(
+            sim::cyclesToNs(full_worst, cfg_.freqGhz));
+    return 0;
+}
+
+void
+UatSystem::translationWriteLocal(unsigned core, Addr addr)
+{
+    // Dirty hit in the writer's L1: local-only invalidation (§4.2).
+    ivlbs_[core]->invalidateVte(addr);
+    dvlbs_[core]->invalidateVte(addr);
+    vtd_.mutableStats().writes++;
+}
+
+void
+UatSystem::directoryEvict(Addr addr, const mem::CoreMask &dir)
+{
+    vtd_.installPessimistic(addr, dir);
+}
+
+} // namespace jord::uat

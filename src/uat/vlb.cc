@@ -1,0 +1,101 @@
+#include "uat/vlb.hh"
+
+#include "sim/logging.hh"
+
+namespace jord::uat {
+
+using sim::Addr;
+
+Vlb::Vlb(unsigned entries)
+{
+    if (entries == 0)
+        sim::fatal("VLB must have at least one entry");
+    entries_.assign(entries, VlbEntry{});
+}
+
+std::optional<VlbEntry>
+Vlb::lookup(Addr va, PdId pd)
+{
+    for (auto &entry : entries_) {
+        if (!entry.valid)
+            continue;
+        if (va < entry.base || va - entry.base >= entry.bound)
+            continue;
+        if (!entry.global && entry.pd != pd)
+            continue;
+        entry.lastUse = ++useClock_;
+        ++stats_.hits;
+        return entry;
+    }
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+void
+Vlb::insert(const VlbEntry &entry)
+{
+    VlbEntry *victim = nullptr;
+    for (auto &slot : entries_) {
+        // Replace an existing entry for the same (VTE, PD) in place so a
+        // permission change does not leave a stale duplicate.
+        if (slot.valid && slot.vteAddr == entry.vteAddr &&
+            slot.pd == entry.pd && slot.global == entry.global) {
+            victim = &slot;
+            break;
+        }
+        if (!slot.valid) {
+            if (!victim || victim->valid)
+                victim = &slot;
+            continue;
+        }
+        if (!victim || (victim->valid && slot.lastUse < victim->lastUse))
+            victim = &slot;
+    }
+    if (victim->valid && victim->vteAddr != entry.vteAddr)
+        ++stats_.evictions;
+    *victim = entry;
+    victim->valid = true;
+    victim->lastUse = ++useClock_;
+}
+
+unsigned
+Vlb::invalidateVte(Addr vte_addr)
+{
+    unsigned n = 0;
+    for (auto &entry : entries_) {
+        if (entry.valid && entry.vteAddr == vte_addr) {
+            entry.valid = false;
+            ++n;
+        }
+    }
+    stats_.shootdowns += n;
+    return n;
+}
+
+void
+Vlb::invalidateAll()
+{
+    for (auto &entry : entries_)
+        entry.valid = false;
+}
+
+bool
+Vlb::holdsVte(Addr vte_addr) const
+{
+    for (const auto &entry : entries_)
+        if (entry.valid && entry.vteAddr == vte_addr)
+            return true;
+    return false;
+}
+
+unsigned
+Vlb::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &entry : entries_)
+        if (entry.valid)
+            ++n;
+    return n;
+}
+
+} // namespace jord::uat

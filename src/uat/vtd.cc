@@ -1,0 +1,115 @@
+#include "uat/vtd.hh"
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace jord::uat {
+
+using sim::Addr;
+
+Vtd::Vtd(const sim::MachineConfig &cfg, const noc::Mesh &mesh)
+    : cfg_(cfg), mesh_(mesh)
+{
+    std::uint64_t total = static_cast<std::uint64_t>(cfg.vtdSets) *
+                          cfg.vtdWays * cfg.numCores;
+    entries_.assign(total, Entry{});
+}
+
+std::size_t
+Vtd::setBase(Addr vte_addr) const
+{
+    Addr block = sim::blockAlign(vte_addr);
+    unsigned slice = mesh_.homeSlice(block, 0) % cfg_.numCores;
+    std::uint64_t set = (block / sim::kCacheBlockBytes) % cfg_.vtdSets;
+    return (static_cast<std::size_t>(slice) * cfg_.vtdSets + set) *
+           cfg_.vtdWays;
+}
+
+Vtd::Entry *
+Vtd::find(Addr vte_addr)
+{
+    Addr tag = sim::blockAlign(vte_addr);
+    std::size_t base = setBase(vte_addr);
+    for (unsigned way = 0; way < cfg_.vtdWays; ++way) {
+        Entry &entry = entries_[base + way];
+        if (entry.valid && entry.tag == tag)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const Vtd::Entry *
+Vtd::find(Addr vte_addr) const
+{
+    return const_cast<Vtd *>(this)->find(vte_addr);
+}
+
+Vtd::Entry &
+Vtd::victimIn(Addr vte_addr)
+{
+    std::size_t base = setBase(vte_addr);
+    Entry *victim = nullptr;
+    for (unsigned way = 0; way < cfg_.vtdWays; ++way) {
+        Entry &entry = entries_[base + way];
+        if (!entry.valid)
+            return entry;
+        if (!victim || entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    ++stats_.evictions;
+    victim->valid = false;
+    victim->sharers.reset();
+    return *victim;
+}
+
+void
+Vtd::addSharer(Addr vte_addr, unsigned core)
+{
+    ++stats_.reads;
+    if (Entry *entry = find(vte_addr)) {
+        entry->sharers.set(core);
+        entry->lastUse = ++useClock_;
+        return;
+    }
+    Entry &entry = victimIn(vte_addr);
+    entry.valid = true;
+    entry.tag = sim::blockAlign(vte_addr);
+    entry.sharers.reset();
+    entry.sharers.set(core);
+    entry.lastUse = ++useClock_;
+}
+
+std::optional<mem::CoreMask>
+Vtd::sharers(Addr vte_addr) const
+{
+    const Entry *entry = find(vte_addr);
+    if (!entry)
+        return std::nullopt;
+    return entry->sharers;
+}
+
+void
+Vtd::remove(Addr vte_addr)
+{
+    if (Entry *entry = find(vte_addr)) {
+        entry->valid = false;
+        entry->sharers.reset();
+    }
+}
+
+void
+Vtd::installPessimistic(Addr vte_addr, const mem::CoreMask &sharers)
+{
+    if (find(vte_addr) != nullptr)
+        return; // already tracked precisely
+    if (sharers.none())
+        return;
+    ++stats_.victims;
+    Entry &entry = victimIn(vte_addr);
+    entry.valid = true;
+    entry.tag = sim::blockAlign(vte_addr);
+    entry.sharers = sharers;
+    entry.lastUse = ++useClock_;
+}
+
+} // namespace jord::uat

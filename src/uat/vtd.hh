@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Virtual translation directory (VTD) — §4.2, Fig. 7.
+ *
+ * A set-associative structure co-located with each LLC slice that tracks
+ * which cores' VLBs cache each translation, using the VTE address as a
+ * proxy (one VTE per VMA in the plain-list design). T-bit reads register
+ * sharers; T-bit writes read out the sharer list and fan out VLB
+ * invalidations. When the VTD has no entry it falls back pessimistically
+ * to the coherence directory's sharer list, and the directory acts as a
+ * victim cache: on directory eviction an untracked translation's sharers
+ * are installed into the VTD.
+ */
+
+#ifndef JORD_UAT_VTD_HH
+#define JORD_UAT_VTD_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mem/core_mask.hh"
+#include "noc/mesh.hh"
+#include "sim/machine.hh"
+
+namespace jord::uat {
+
+/** VTD statistics. */
+struct VtdStats {
+    std::uint64_t reads = 0;      ///< sharer registrations
+    std::uint64_t writes = 0;     ///< shootdown fan-outs
+    std::uint64_t evictions = 0;  ///< capacity evictions
+    std::uint64_t pessimistic = 0;///< writes served from directory sharers
+    std::uint64_t victims = 0;    ///< directory-evict installs
+};
+
+/**
+ * The VTD. Entries are distributed across slices by the VTE address's
+ * home slice, each slice holding cfg.vtdSets x cfg.vtdWays entries.
+ */
+class Vtd
+{
+  public:
+    Vtd(const sim::MachineConfig &cfg, const noc::Mesh &mesh);
+
+    /** Register @p core as a sharer of translation @p vte_addr. */
+    void addSharer(sim::Addr vte_addr, unsigned core);
+
+    /** Current sharer list, or nullopt if untracked. */
+    std::optional<mem::CoreMask> sharers(sim::Addr vte_addr) const;
+
+    /** Drop the entry for @p vte_addr (after a shootdown). */
+    void remove(sim::Addr vte_addr);
+
+    /**
+     * Victim-cache install: the coherence directory evicted this block;
+     * adopt its sharer list if we are not already tracking it.
+     */
+    void installPessimistic(sim::Addr vte_addr,
+                            const mem::CoreMask &sharers);
+
+    const VtdStats &stats() const { return stats_; }
+    void resetStats() { stats_ = VtdStats{}; }
+    VtdStats &mutableStats() { return stats_; }
+
+    /** Total capacity in entries across all slices. */
+    std::uint64_t capacity() const { return entries_.size(); }
+
+  private:
+    struct Entry {
+        bool valid = false;
+        sim::Addr tag = 0;
+        mem::CoreMask sharers;
+        std::uint64_t lastUse = 0;
+    };
+
+    const sim::MachineConfig &cfg_;
+    const noc::Mesh &mesh_;
+    std::vector<Entry> entries_;
+    std::uint64_t useClock_ = 0;
+    VtdStats stats_;
+
+    /** First entry index of the set @p vte_addr maps to. */
+    std::size_t setBase(sim::Addr vte_addr) const;
+    Entry *find(sim::Addr vte_addr);
+    const Entry *find(sim::Addr vte_addr) const;
+    Entry &victimIn(sim::Addr vte_addr);
+};
+
+} // namespace jord::uat
+
+#endif // JORD_UAT_VTD_HH

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * VMA table entry (VTE) layout — Fig. 8.
+ *
+ * Each VTE spans one 64-byte cache block to avoid false sharing:
+ *
+ *     [511:192] sub-array: 20 x 16-bit {valid, perm, PD id} entries
+ *     [191:128] ptr: overflow pointer for VMAs with > 20 sharing PDs
+ *     [127: 64] offs | attr: translation offset and attribute bits
+ *     [ 63:  0] bound: byte length of the VMA (the requested size)
+ *
+ * The Global (G) bit makes the VMA visible to every PD with the attr
+ * permissions; the Privilege (P) bit restricts explicit accesses to code
+ * that itself runs under a privileged VMA (§4.3).
+ */
+
+#ifndef JORD_UAT_VTE_HH
+#define JORD_UAT_VTE_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "sim/types.hh"
+
+namespace jord::uat {
+
+/** Protection-domain identifier. 12 bits in the sub-array encoding. */
+using PdId = std::uint16_t;
+
+/** The PD id space representable in a sub-array entry. */
+inline constexpr PdId kMaxPdId = 0xfff;
+
+/** Number of inline sub-array entries per VTE (§4.3). */
+inline constexpr unsigned kSubArrayEntries = 20;
+
+/** VMA access permissions as a bit set. */
+struct Perm {
+    std::uint8_t bits = 0;
+
+    static constexpr std::uint8_t R = 1;
+    static constexpr std::uint8_t W = 2;
+    static constexpr std::uint8_t X = 4;
+
+    constexpr Perm() = default;
+    constexpr explicit Perm(std::uint8_t b) : bits(b) {}
+
+    static constexpr Perm none() { return Perm(0); }
+    static constexpr Perm r() { return Perm(R); }
+    static constexpr Perm rw() { return Perm(R | W); }
+    static constexpr Perm rx() { return Perm(R | X); }
+    static constexpr Perm rwx() { return Perm(R | W | X); }
+
+    constexpr bool
+    covers(Perm need) const
+    {
+        return (bits & need.bits) == need.bits;
+    }
+
+    constexpr bool operator==(const Perm &) const = default;
+};
+
+/** One 16-bit sub-array slot: {valid:1, perm:3, pd:12}. */
+struct SubEntry {
+    std::uint16_t raw = 0;
+
+    bool valid() const { return raw >> 15; }
+    Perm perm() const { return Perm((raw >> 12) & 0x7); }
+    PdId pd() const { return raw & 0xfff; }
+
+    static SubEntry
+    make(PdId pd, Perm perm)
+    {
+        SubEntry e;
+        e.raw = static_cast<std::uint16_t>(
+            0x8000u | (static_cast<unsigned>(perm.bits & 0x7) << 12) |
+            (pd & 0xfff));
+        return e;
+    }
+
+    void clear() { raw = 0; }
+};
+
+/** Attribute bits packed next to the translation offset. */
+struct VteAttr {
+    static constexpr std::uint64_t kValid = 1ull << 0;
+    static constexpr std::uint64_t kGlobal = 1ull << 1;
+    static constexpr std::uint64_t kPriv = 1ull << 2;
+    /** Global-permission bits occupy [5:3] when G is set. */
+    static constexpr unsigned kPermShift = 3;
+};
+
+/**
+ * The 64-byte VMA table entry.
+ */
+struct Vte {
+    std::uint64_t bound = 0;    ///< byte length of the VMA
+    std::uint64_t offsAttr = 0; ///< translation offset [63:12] | attr [11:0]
+    std::uint64_t ptr = 0;      ///< overflow-list id + 1, or 0 if none
+    std::array<SubEntry, kSubArrayEntries> sub{};
+
+    bool valid() const { return offsAttr & VteAttr::kValid; }
+    bool global() const { return offsAttr & VteAttr::kGlobal; }
+    bool privileged() const { return offsAttr & VteAttr::kPriv; }
+
+    /** Translation offset: PA = VA + offs (range translation). */
+    std::int64_t
+    offs() const
+    {
+        // Stored as a signed 52-bit value in [63:12].
+        return static_cast<std::int64_t>(offsAttr) >> 12;
+    }
+
+    Perm
+    globalPerm() const
+    {
+        return Perm((offsAttr >> VteAttr::kPermShift) & 0x7);
+    }
+
+    void
+    setOffs(std::int64_t offs)
+    {
+        offsAttr = (offsAttr & 0xfffull) |
+                   (static_cast<std::uint64_t>(offs) << 12);
+    }
+
+    void
+    setAttr(bool valid, bool global, bool priv, Perm global_perm)
+    {
+        std::uint64_t attr = 0;
+        if (valid)
+            attr |= VteAttr::kValid;
+        if (global)
+            attr |= VteAttr::kGlobal;
+        if (priv)
+            attr |= VteAttr::kPriv;
+        attr |= static_cast<std::uint64_t>(global_perm.bits & 0x7)
+                << VteAttr::kPermShift;
+        offsAttr = (offsAttr & ~0xfffull) | attr;
+    }
+
+    /** Find the inline sub-array slot for @p pd; nullptr if absent. */
+    SubEntry *findSub(PdId pd);
+    const SubEntry *findSub(PdId pd) const;
+
+    /** Find a free inline slot; nullptr if the sub-array is full. */
+    SubEntry *freeSub();
+
+    /** Count of valid inline sharers. */
+    unsigned numSharers() const;
+};
+
+static_assert(sizeof(Vte) == sim::kCacheBlockBytes,
+              "a VTE must span exactly one cache block (Fig. 8)");
+
+inline SubEntry *
+Vte::findSub(PdId pd)
+{
+    for (auto &entry : sub)
+        if (entry.valid() && entry.pd() == pd)
+            return &entry;
+    return nullptr;
+}
+
+inline const SubEntry *
+Vte::findSub(PdId pd) const
+{
+    return const_cast<Vte *>(this)->findSub(pd);
+}
+
+inline SubEntry *
+Vte::freeSub()
+{
+    for (auto &entry : sub)
+        if (!entry.valid())
+            return &entry;
+    return nullptr;
+}
+
+inline unsigned
+Vte::numSharers() const
+{
+    unsigned n = 0;
+    for (const auto &entry : sub)
+        if (entry.valid())
+            ++n;
+    return n;
+}
+
+} // namespace jord::uat
+
+#endif // JORD_UAT_VTE_HH

@@ -1,0 +1,168 @@
+#include "vm/page_table.hh"
+
+#include "sim/logging.hh"
+
+namespace jord::vm {
+
+using sim::Addr;
+
+namespace {
+/** Synthetic physical region where page-table nodes live. */
+constexpr Addr kNodePaBase = 0x4000'0000'0000ull;
+} // namespace
+
+PageTable::PageTable() : nextNodePa_(kNodePaBase)
+{
+    root_ = std::make_unique<Node>();
+    root_->nodePa = nextNodePa_;
+    nextNodePa_ += kPageBytes;
+    numNodes_ = 1;
+}
+
+PageTable::~PageTable() = default;
+
+unsigned
+PageTable::levelIndex(Addr va, unsigned level)
+{
+    // level 0 is the root; leaves sit at level kNumLevels - 1.
+    unsigned shift =
+        kPageShift + kLevelBits * (kNumLevels - 1 - level);
+    return static_cast<unsigned>((va >> shift) & (kEntriesPerNode - 1));
+}
+
+PageTable::Node *
+PageTable::ensureChild(Entry &entry)
+{
+    if (!entry.child) {
+        entry.child = std::make_unique<Node>();
+        entry.child->nodePa = nextNodePa_;
+        nextNodePa_ += kPageBytes;
+        ++numNodes_;
+        entry.valid = true;
+        entry.leaf = false;
+    }
+    return entry.child.get();
+}
+
+bool
+PageTable::mapPage(Addr va, Addr pa, PagePerms perms)
+{
+    Node *node = root_.get();
+    for (unsigned level = 0; level + 1 < kNumLevels; ++level) {
+        Entry &entry = node->entries[levelIndex(va, level)];
+        if (entry.valid && entry.leaf)
+            return false; // huge-page conflict (we only map 4K pages)
+        node = ensureChild(entry);
+    }
+    Entry &leaf = node->entries[levelIndex(va, kNumLevels - 1)];
+    if (leaf.valid)
+        return false;
+    leaf.valid = true;
+    leaf.leaf = true;
+    leaf.pa = pa;
+    leaf.perms = perms;
+    ++numMapped_;
+    return true;
+}
+
+bool
+PageTable::map(Addr va, Addr pa, std::uint64_t len, PagePerms perms)
+{
+    if (va != pageAlignDown(va) || pa != pageAlignDown(pa))
+        return false;
+    std::uint64_t pages = pageAlignUp(len) / kPageBytes;
+    // First verify no page is already mapped so the operation is atomic.
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        if (findLeaf(va + i * kPageBytes) != nullptr)
+            return false;
+    }
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        bool ok = mapPage(va + i * kPageBytes, pa + i * kPageBytes, perms);
+        if (!ok)
+            sim::panic("mapPage failed after pre-check");
+    }
+    return true;
+}
+
+PageTable::Entry *
+PageTable::findLeaf(Addr va) const
+{
+    const Node *node = root_.get();
+    for (unsigned level = 0; level + 1 < kNumLevels; ++level) {
+        const Entry &entry = node->entries[levelIndex(va, level)];
+        if (!entry.valid || !entry.child)
+            return nullptr;
+        node = entry.child.get();
+    }
+    const Entry &leaf = node->entries[levelIndex(va, kNumLevels - 1)];
+    if (!leaf.valid || !leaf.leaf)
+        return nullptr;
+    return const_cast<Entry *>(&leaf);
+}
+
+std::uint64_t
+PageTable::unmap(Addr va, std::uint64_t len)
+{
+    va = pageAlignDown(va);
+    std::uint64_t pages = pageAlignUp(len) / kPageBytes;
+    std::uint64_t removed = 0;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        Entry *leaf = findLeaf(va + i * kPageBytes);
+        if (!leaf)
+            continue;
+        leaf->valid = false;
+        leaf->leaf = false;
+        leaf->pa = 0;
+        leaf->perms = PagePerms{};
+        --numMapped_;
+        ++removed;
+    }
+    return removed;
+}
+
+std::uint64_t
+PageTable::protect(Addr va, std::uint64_t len, PagePerms perms)
+{
+    va = pageAlignDown(va);
+    std::uint64_t pages = pageAlignUp(len) / kPageBytes;
+    std::uint64_t updated = 0;
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        Entry *leaf = findLeaf(va + i * kPageBytes);
+        if (!leaf)
+            continue;
+        leaf->perms = perms;
+        ++updated;
+    }
+    return updated;
+}
+
+std::optional<Translation>
+PageTable::translate(Addr va) const
+{
+    const Entry *leaf = findLeaf(pageAlignDown(va));
+    if (!leaf)
+        return std::nullopt;
+    return Translation{leaf->pa + (va & (kPageBytes - 1)), leaf->perms};
+}
+
+std::vector<Addr>
+PageTable::walkPath(Addr va) const
+{
+    std::vector<Addr> path;
+    path.reserve(kNumLevels);
+    const Node *node = root_.get();
+    for (unsigned level = 0; level < kNumLevels; ++level) {
+        unsigned idx = levelIndex(va, level);
+        // Each PTE is 8 bytes inside the node's synthetic page.
+        path.push_back(node->nodePa + idx * 8);
+        const Entry &entry = node->entries[idx];
+        if (!entry.valid)
+            break;
+        if (entry.leaf || level + 1 == kNumLevels)
+            break;
+        node = entry.child.get();
+    }
+    return path;
+}
+
+} // namespace jord::vm

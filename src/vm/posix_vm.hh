@@ -1,0 +1,108 @@
+/**
+ * @file
+ * OS-mediated virtual memory operations with TLB-shootdown cost model.
+ *
+ * Models the slow path the paper argues against (§2.2): mmap/munmap/
+ * mprotect as syscalls that traverse and modify the radix page table and
+ * broadcast IPI-based TLB shootdowns to every core that may cache the
+ * affected translations. Used by the NightCore baseline and by
+ * comparison micro-benchmarks.
+ */
+
+#ifndef JORD_VM_POSIX_VM_HH
+#define JORD_VM_POSIX_VM_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mem/coherence.hh"
+#include "vm/page_table.hh"
+#include "vm/walker.hh"
+
+namespace jord::vm {
+
+/** Software cost constants for the OS path. */
+struct OsCosts {
+    /** Syscall entry + exit (trap, register save/restore, audit). */
+    sim::Cycles syscallCycles = sim::nsToCycles(250.0);
+    /** Deliver one IPI and run the remote flush handler. */
+    sim::Cycles ipiCycles = sim::nsToCycles(1000.0);
+    /** Kernel bookkeeping per page (VMA tree, rmap, counters). */
+    sim::Cycles perPageCycles = 80;
+    /** Kernel VMA-tree (maple tree) lookup/insert. */
+    sim::Cycles vmaTreeCycles = 120;
+};
+
+/** Result of an OS VM operation. */
+struct VmOpResult {
+    bool ok = false;
+    sim::Cycles latency = 0;
+    sim::Addr addr = 0;
+    /** Cores that received a shootdown IPI. */
+    unsigned ipis = 0;
+};
+
+/**
+ * A process's OS-visible virtual memory: VMA list, page table, per-core
+ * MMUs, and timed syscalls.
+ */
+class PosixVm
+{
+  public:
+    PosixVm(const sim::MachineConfig &cfg,
+            mem::CoherenceEngine &coherence);
+
+    /** Allocate and map @p len bytes; returns the chosen VA. */
+    VmOpResult mmap(unsigned core, std::uint64_t len, PagePerms perms);
+
+    /** Unmap a region previously returned by mmap. */
+    VmOpResult munmap(unsigned core, sim::Addr va, std::uint64_t len);
+
+    /** Change permissions on a mapped region. */
+    VmOpResult mprotect(unsigned core, sim::Addr va, std::uint64_t len,
+                        PagePerms perms);
+
+    /**
+     * Timed load/store through the conventional MMU.
+     * @return latency; faults are reported with ok == false.
+     */
+    VmOpResult access(unsigned core, sim::Addr va, bool write);
+
+    PageTable &pageTable() { return table_; }
+    Mmu &mmu(unsigned core) { return *mmus_[core]; }
+    const OsCosts &costs() const { return costs_; }
+    OsCosts &costs() { return costs_; }
+
+    /** Number of live OS VMAs. */
+    std::size_t numVmas() const { return vmas_.size(); }
+
+  private:
+    struct OsVma {
+        sim::Addr base;
+        std::uint64_t len;
+        PagePerms perms;
+    };
+
+    const sim::MachineConfig &cfg_;
+    mem::CoherenceEngine &coherence_;
+    PageTable table_;
+    std::vector<std::unique_ptr<Mmu>> mmus_;
+    std::map<sim::Addr, OsVma> vmas_;
+    OsCosts costs_;
+    sim::Addr nextVa_;
+    sim::Addr nextPa_;
+
+    /**
+     * Broadcast a shootdown for [va, va+len) to every core except the
+     * initiator; returns the latency (initiator waits for all acks) and
+     * the IPI count.
+     */
+    sim::Cycles shootdown(unsigned initiator, sim::Addr va,
+                          std::uint64_t len, unsigned &ipis);
+};
+
+} // namespace jord::vm
+
+#endif // JORD_VM_POSIX_VM_HH

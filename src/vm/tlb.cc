@@ -1,0 +1,136 @@
+#include "vm/tlb.hh"
+
+#include "sim/logging.hh"
+
+namespace jord::vm {
+
+using sim::Addr;
+
+Tlb::Tlb(unsigned entries, unsigned assoc)
+{
+    if (entries == 0)
+        sim::fatal("TLB must have at least one entry");
+    if (assoc == 0 || assoc > entries)
+        assoc = entries; // fully associative
+    if (entries % assoc != 0)
+        sim::fatal("TLB entries (%u) not divisible by assoc (%u)",
+                   entries, assoc);
+    entries_.assign(entries, Entry{});
+    assoc_ = assoc;
+    numSets_ = entries / assoc;
+}
+
+unsigned
+Tlb::setOf(Addr vpn) const
+{
+    return static_cast<unsigned>(vpn % numSets_);
+}
+
+Tlb::Entry *
+Tlb::findEntry(Addr vpn)
+{
+    unsigned set = setOf(vpn);
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Entry &entry = entries_[set * assoc_ + way];
+        if (entry.valid && entry.vpn == vpn)
+            return &entry;
+    }
+    return nullptr;
+}
+
+const Tlb::Entry *
+Tlb::findEntry(Addr vpn) const
+{
+    return const_cast<Tlb *>(this)->findEntry(vpn);
+}
+
+std::optional<Translation>
+Tlb::lookup(Addr va)
+{
+    Addr vpn = va >> kPageShift;
+    Entry *entry = findEntry(vpn);
+    if (!entry) {
+        ++stats_.misses;
+        return std::nullopt;
+    }
+    ++stats_.hits;
+    entry->lastUse = ++useClock_;
+    Translation t = entry->translation;
+    t.pa += va & (kPageBytes - 1);
+    return t;
+}
+
+std::optional<Translation>
+Tlb::probe(Addr va) const
+{
+    const Entry *entry = findEntry(va >> kPageShift);
+    if (!entry)
+        return std::nullopt;
+    return entry->translation;
+}
+
+void
+Tlb::insert(Addr va, const Translation &translation)
+{
+    Addr vpn = va >> kPageShift;
+    Translation base = translation;
+    base.pa = pageAlignDown(base.pa);
+
+    if (Entry *hit = findEntry(vpn)) {
+        hit->translation = base;
+        hit->lastUse = ++useClock_;
+        return;
+    }
+
+    unsigned set = setOf(vpn);
+    Entry *victim = nullptr;
+    for (unsigned way = 0; way < assoc_; ++way) {
+        Entry &entry = entries_[set * assoc_ + way];
+        if (!entry.valid) {
+            victim = &entry;
+            break;
+        }
+        if (!victim || entry.lastUse < victim->lastUse)
+            victim = &entry;
+    }
+    if (victim->valid)
+        ++stats_.evictions;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->translation = base;
+    victim->lastUse = ++useClock_;
+}
+
+bool
+Tlb::invalidatePage(Addr va)
+{
+    Entry *entry = findEntry(va >> kPageShift);
+    if (!entry)
+        return false;
+    entry->valid = false;
+    ++stats_.invalidations;
+    return true;
+}
+
+void
+Tlb::invalidateAll()
+{
+    for (auto &entry : entries_) {
+        if (entry.valid) {
+            entry.valid = false;
+            ++stats_.invalidations;
+        }
+    }
+}
+
+unsigned
+Tlb::occupancy() const
+{
+    unsigned n = 0;
+    for (const auto &entry : entries_)
+        if (entry.valid)
+            ++n;
+    return n;
+}
+
+} // namespace jord::vm

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Conventional TLB model with LRU replacement.
+ *
+ * Models the Table 2 hierarchy: fully associative 48-entry L1 I/D TLBs
+ * and a 4-way 1024-entry L2 TLB. Page-granularity tags; invalidation by
+ * page or wholesale (shootdown).
+ */
+
+#ifndef JORD_VM_TLB_HH
+#define JORD_VM_TLB_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/types.hh"
+#include "vm/page_table.hh"
+
+namespace jord::vm {
+
+/** TLB hit/miss statistics. */
+struct TlbStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;
+
+    double
+    hitRate() const
+    {
+        std::uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) /
+                           static_cast<double>(total)
+                     : 0.0;
+    }
+};
+
+/**
+ * A set-associative (or fully associative) page-granularity TLB.
+ */
+class Tlb
+{
+  public:
+    /**
+     * @param entries Total entry count.
+     * @param assoc Ways per set; 0 means fully associative.
+     */
+    explicit Tlb(unsigned entries, unsigned assoc = 0);
+
+    /** Look up a VA; updates LRU state on hit. */
+    std::optional<Translation> lookup(sim::Addr va);
+
+    /** Probe without touching LRU (for tests/inspection). */
+    std::optional<Translation> probe(sim::Addr va) const;
+
+    /** Insert a translation for the page containing @p va. */
+    void insert(sim::Addr va, const Translation &translation);
+
+    /** Invalidate the entry for one page, if present. */
+    bool invalidatePage(sim::Addr va);
+
+    /** Invalidate everything (global shootdown). */
+    void invalidateAll();
+
+    unsigned capacity() const { return static_cast<unsigned>(entries_.size()); }
+    unsigned occupancy() const;
+
+    const TlbStats &stats() const { return stats_; }
+    void resetStats() { stats_ = TlbStats{}; }
+
+  private:
+    struct Entry {
+        bool valid = false;
+        sim::Addr vpn = 0;
+        Translation translation;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::vector<Entry> entries_;
+    unsigned numSets_;
+    unsigned assoc_;
+    std::uint64_t useClock_ = 0;
+    TlbStats stats_;
+
+    unsigned setOf(sim::Addr vpn) const;
+    Entry *findEntry(sim::Addr vpn);
+    const Entry *findEntry(sim::Addr vpn) const;
+};
+
+} // namespace jord::vm
+
+#endif // JORD_VM_TLB_HH

@@ -1,0 +1,73 @@
+#include "vm/walker.hh"
+
+namespace jord::vm {
+
+using sim::Addr;
+using sim::Cycles;
+
+Mmu::Mmu(const sim::MachineConfig &cfg, mem::CoherenceEngine &coherence,
+         PageTable &table, unsigned core)
+    : cfg_(cfg),
+      coherence_(coherence),
+      table_(table),
+      core_(core),
+      l1_(cfg.l1TlbEntries, 0),
+      l2_(cfg.l2TlbEntries, cfg.l2TlbAssoc)
+{
+}
+
+WalkResult
+Mmu::translate(Addr va)
+{
+    WalkResult res;
+
+    // L1 TLB: overlapped with the L1 cache access; charge one cycle.
+    if (auto t = l1_.lookup(va)) {
+        res.latency = 1;
+        res.translation = t;
+        res.l1TlbHit = true;
+        return res;
+    }
+    res.latency = 1;
+
+    // L2 TLB probe.
+    res.latency += cfg_.l2TlbCycles;
+    if (auto t = l2_.lookup(va)) {
+        res.translation = t;
+        res.l2TlbHit = true;
+        l1_.insert(va, *t);
+        return res;
+    }
+
+    // Hardware walk: one memory access per level actually touched.
+    std::vector<Addr> path = table_.walkPath(va);
+    for (Addr pte : path) {
+        mem::Access acc = coherence_.read(core_, pte);
+        res.latency += acc.latency;
+    }
+    res.levelsWalked = static_cast<unsigned>(path.size());
+
+    auto t = table_.translate(va);
+    if (t) {
+        res.translation = t;
+        l1_.insert(va, *t);
+        l2_.insert(va, *t);
+    }
+    return res;
+}
+
+void
+Mmu::invalidatePage(Addr va)
+{
+    l1_.invalidatePage(va);
+    l2_.invalidatePage(va);
+}
+
+void
+Mmu::invalidateAll()
+{
+    l1_.invalidateAll();
+    l2_.invalidateAll();
+}
+
+} // namespace jord::vm

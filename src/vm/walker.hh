@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Timed hardware page-table walker for the conventional TLB hierarchy.
+ *
+ * On an L1 TLB miss the walker first probes the L2 TLB, then walks the
+ * radix page table. Each page-table-node access is charged to the
+ * coherence engine, so hot upper-level PTEs hit in caches and cold walks
+ * pay DRAM latency — the behaviour that makes conventional VM operations
+ * so much slower than Jord's plain-list lookups.
+ */
+
+#ifndef JORD_VM_WALKER_HH
+#define JORD_VM_WALKER_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mem/coherence.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+namespace jord::vm {
+
+/** Outcome of a timed translation attempt. */
+struct WalkResult {
+    /** Total latency including TLB probes. */
+    sim::Cycles latency = 0;
+    /** Filled translation; nullopt means page fault. */
+    std::optional<Translation> translation;
+    bool l1TlbHit = false;
+    bool l2TlbHit = false;
+    /** Page-table levels touched (0 when served by a TLB). */
+    unsigned levelsWalked = 0;
+};
+
+/**
+ * Per-core MMU: L1 TLB + shared-model L2 TLB + timed walker.
+ */
+class Mmu
+{
+  public:
+    /**
+     * @param cfg Machine configuration (TLB sizes and latencies).
+     * @param coherence Engine to charge PTE accesses to.
+     * @param table The process page table.
+     * @param core The core this MMU belongs to.
+     */
+    Mmu(const sim::MachineConfig &cfg, mem::CoherenceEngine &coherence,
+        PageTable &table, unsigned core);
+
+    /** Timed translation of a data access. */
+    WalkResult translate(sim::Addr va);
+
+    /** Invalidate one page from both TLB levels. */
+    void invalidatePage(sim::Addr va);
+
+    /** Invalidate everything (full shootdown). */
+    void invalidateAll();
+
+    Tlb &l1Tlb() { return l1_; }
+    Tlb &l2Tlb() { return l2_; }
+
+  private:
+    const sim::MachineConfig &cfg_;
+    mem::CoherenceEngine &coherence_;
+    PageTable &table_;
+    unsigned core_;
+    Tlb l1_;
+    Tlb l2_;
+};
+
+} // namespace jord::vm
+
+#endif // JORD_VM_WALKER_HH

@@ -1,0 +1,84 @@
+#include "workloads/sweep.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace jord::workloads {
+
+using runtime::RunResult;
+using runtime::SystemKind;
+using runtime::WorkerConfig;
+using runtime::WorkerServer;
+
+double
+measureSloUs(const Workload &workload, const SweepConfig &cfg)
+{
+    WorkerConfig wc = cfg.worker;
+    wc.system = SystemKind::JordNI;
+    WorkerServer worker(wc, workload.registry);
+    std::uint64_t requests =
+        std::max<std::uint64_t>(2000, cfg.requestsPerPoint / 10);
+    RunResult res = worker.run(cfg.minimalLoadMrps, requests,
+                               workload.mix, cfg.warmupFrac);
+    if (res.latencyUs.empty())
+        sim::fatal("SLO measurement produced no samples");
+    return cfg.sloMultiplier * res.latencyUs.mean();
+}
+
+SweepResult
+sweepLoad(const Workload &workload, SystemKind system,
+          const std::vector<double> &loads_mrps, double slo_us,
+          const SweepConfig &cfg)
+{
+    SweepResult out;
+    out.system = system;
+    out.sloUs = slo_us;
+
+    bool failed_before = false;
+    for (double load : loads_mrps) {
+        WorkerConfig wc = cfg.worker;
+        wc.system = system;
+        WorkerServer worker(wc, workload.registry);
+        RunResult res = worker.run(load, cfg.requestsPerPoint,
+                                   workload.mix, cfg.warmupFrac);
+        SweepPoint point;
+        point.offeredMrps = load;
+        point.achievedMrps = res.achievedMrps;
+        point.p99Us = res.latencyUs.p99();
+        point.meanUs = res.latencyUs.mean();
+        point.meetsSlo = point.p99Us <= slo_us &&
+                         res.completedRequests > 0;
+        // Knee detection is monotone: once a load misses the SLO, a
+        // higher load passing again is P99 sampling noise, not recovery.
+        if (point.meetsSlo && !failed_before)
+            out.throughputUnderSlo =
+                std::max(out.throughputUnderSlo, point.achievedMrps);
+        if (!point.meetsSlo)
+            failed_before = true;
+        out.points.push_back(point);
+    }
+    return out;
+}
+
+std::vector<double>
+loadSeries(double lo, double hi, unsigned n)
+{
+    std::vector<double> loads;
+    if (n == 0)
+        return loads;
+    if (n == 1) {
+        loads.push_back(hi);
+        return loads;
+    }
+    double ratio = std::pow(hi / lo, 1.0 / (n - 1));
+    double load = lo;
+    for (unsigned i = 0; i < n; ++i) {
+        loads.push_back(load);
+        load *= ratio;
+    }
+    loads.back() = hi;
+    return loads;
+}
+
+} // namespace jord::workloads

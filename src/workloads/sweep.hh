@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Load-sweep harness: the measurement methodology of §5.
+ *
+ * Throughput under a 99th-percentile latency SLO is the paper's primary
+ * metric, with the SLO set to 10x the minimal-load service time on
+ * Jord_NI. This helper measures that SLO, sweeps offered load for a
+ * system variant, and reports the P99-vs-load series of Fig. 9 together
+ * with the achieved throughput under SLO.
+ */
+
+#ifndef JORD_WORKLOADS_SWEEP_HH
+#define JORD_WORKLOADS_SWEEP_HH
+
+#include <vector>
+
+#include "runtime/worker.hh"
+#include "workloads/workloads.hh"
+
+namespace jord::workloads {
+
+/** One point of a load sweep. */
+struct SweepPoint {
+    double offeredMrps = 0;
+    double achievedMrps = 0;
+    double p99Us = 0;
+    double meanUs = 0;
+    bool meetsSlo = false;
+};
+
+/** A full sweep for one (workload, system) pair. */
+struct SweepResult {
+    runtime::SystemKind system;
+    double sloUs = 0;
+    std::vector<SweepPoint> points;
+    /** Highest achieved throughput whose P99 met the SLO. */
+    double throughputUnderSlo = 0;
+};
+
+/** Sweep configuration. */
+struct SweepConfig {
+    runtime::WorkerConfig worker;
+    /** External requests per load point. */
+    std::uint64_t requestsPerPoint = 20000;
+    double warmupFrac = 0.2;
+    /** Load used to measure the minimal-load service time (MRPS). */
+    double minimalLoadMrps = 0.01;
+    /** SLO multiplier over the Jord_NI minimal-load service time. */
+    double sloMultiplier = 10.0;
+};
+
+/**
+ * Measure the SLO for a workload: sloMultiplier x the mean request
+ * latency on Jord_NI under minimal load (§5).
+ */
+double measureSloUs(const Workload &workload, const SweepConfig &cfg);
+
+/**
+ * Sweep the given offered loads for one system variant.
+ *
+ * @param slo_us Pass the value from measureSloUs (shared across the
+ * systems being compared).
+ */
+SweepResult sweepLoad(const Workload &workload,
+                      runtime::SystemKind system,
+                      const std::vector<double> &loads_mrps,
+                      double slo_us, const SweepConfig &cfg);
+
+/** Geometrically spaced loads in [lo, hi] (inclusive), n points. */
+std::vector<double> loadSeries(double lo, double hi, unsigned n);
+
+} // namespace jord::workloads
+
+#endif // JORD_WORKLOADS_SWEEP_HH

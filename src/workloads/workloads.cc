@@ -1,0 +1,244 @@
+#include "workloads/workloads.hh"
+
+#include "sim/logging.hh"
+
+namespace jord::workloads {
+
+using runtime::CallSpec;
+using runtime::FunctionId;
+using runtime::FunctionRegistry;
+using runtime::FunctionSpec;
+
+namespace {
+
+/** Shorthand for registering a leaf function. */
+FunctionId
+leaf(FunctionRegistry &reg, const char *name, double exec_us,
+     double cv = 0.3)
+{
+    FunctionSpec spec;
+    spec.name = name;
+    spec.execMeanUs = exec_us;
+    spec.execCv = cv;
+    return reg.add(std::move(spec));
+}
+
+/** Shorthand for registering a function with nested calls. */
+FunctionId
+composite(FunctionRegistry &reg, const char *name, double exec_us,
+          std::vector<CallSpec> calls, double cv = 0.3)
+{
+    FunctionSpec spec;
+    spec.name = name;
+    spec.execMeanUs = exec_us;
+    spec.execCv = cv;
+    spec.calls = std::move(calls);
+    return reg.add(std::move(spec));
+}
+
+CallSpec
+sync(FunctionId fn, std::uint64_t bytes = 512)
+{
+    return CallSpec{fn, bytes, true};
+}
+
+CallSpec
+async(FunctionId fn, std::uint64_t bytes = 512)
+{
+    return CallSpec{fn, bytes, false};
+}
+
+} // namespace
+
+Workload
+makeHipster()
+{
+    Workload w;
+    w.name = "Hipster";
+    FunctionRegistry &r = w.registry;
+
+    FunctionId currency = leaf(r, "CurrencyConvert", 0.15);
+    FunctionId catalog = leaf(r, "ProductCatalog", 0.40);
+    FunctionId cart_get = leaf(r, "CartGet", 0.30);
+    FunctionId shipping = leaf(r, "ShippingQuote", 0.30);
+    FunctionId payment = leaf(r, "PaymentCharge", 0.60);
+    FunctionId email = leaf(r, "EmailConfirm", 0.40);
+    FunctionId recommend = leaf(r, "Recommend", 0.45);
+    FunctionId ad = leaf(r, "AdServe", 0.20);
+
+    FunctionId get_cart = composite(
+        r, "GetCart", 0.40, {sync(cart_get, 384), async(currency, 256)});
+    FunctionId browse = composite(
+        r, "BrowseProduct", 0.30,
+        {async(catalog, 512), async(recommend, 384), async(ad, 256)});
+    FunctionId checkout = composite(
+        r, "Checkout", 0.50,
+        {sync(catalog, 512), async(shipping, 384), async(currency, 256)});
+    FunctionId place_order = composite(
+        r, "PlaceOrder", 0.80,
+        {sync(cart_get, 384), sync(payment, 512), async(shipping, 384),
+         async(email, 512), async(currency, 256)});
+
+    w.mix = {{get_cart, 0.35},
+             {browse, 0.35},
+             {checkout, 0.20},
+             {place_order, 0.10}};
+    w.selected = {{"GC", get_cart}, {"PO", place_order}};
+    return w;
+}
+
+Workload
+makeHotel()
+{
+    Workload w;
+    w.name = "Hotel";
+    FunctionRegistry &r = w.registry;
+
+    FunctionId geo = leaf(r, "GeoNearby", 0.50);
+    FunctionId rates = leaf(r, "RateLookup", 0.70);
+    FunctionId profile = leaf(r, "ProfileGet", 0.80);
+    FunctionId reservation = leaf(r, "ReservationCheck", 0.60);
+    FunctionId user = leaf(r, "UserAuth", 0.30);
+    FunctionId recommend = leaf(r, "RecommendHotel", 0.60);
+
+    FunctionId search_nearby = composite(
+        r, "SearchNearby", 1.00,
+        {sync(geo, 384), async(rates, 512), async(profile, 768)});
+    FunctionId make_reservation = composite(
+        r, "MakeReservation", 1.20,
+        {sync(user, 256), sync(reservation, 512), async(profile, 768)});
+    FunctionId get_recommendation = composite(
+        r, "GetRecommendation", 0.80,
+        {async(recommend, 512), async(profile, 768)});
+
+    w.mix = {{search_nearby, 0.50},
+             {make_reservation, 0.20},
+             {get_recommendation, 0.30}};
+    w.selected = {{"SN", search_nearby}, {"MR", make_reservation}};
+    return w;
+}
+
+Workload
+makeMedia()
+{
+    Workload w;
+    w.name = "Media";
+    FunctionRegistry &r = w.registry;
+
+    // Media functions fan out to many tiny component services: each
+    // function invokes an average of 12 nested functions (§6.1), and
+    // ReadPage touches more than 100 page components (§6.2).
+    FunctionId unique_id = leaf(r, "UniqueIdGen", 0.15);
+    FunctionId movie_id = leaf(r, "MovieIdLookup", 0.20);
+    FunctionId text = leaf(r, "TextFilter", 0.25);
+    FunctionId rating = leaf(r, "RatingStore", 0.20);
+    FunctionId review_store = leaf(r, "ReviewStore", 0.25);
+    FunctionId user_review = leaf(r, "UserReviewIdx", 0.20);
+    FunctionId movie_review = leaf(r, "MovieReviewIdx", 0.20);
+    FunctionId page_component = leaf(r, "PageComponent", 0.25);
+    FunctionId cast_info = leaf(r, "CastInfo", 0.25);
+    FunctionId plot = leaf(r, "PlotFetch", 0.25);
+
+    auto twelve = [&](FunctionId a, FunctionId b, FunctionId c) {
+        std::vector<CallSpec> calls;
+        for (int i = 0; i < 4; ++i) {
+            calls.push_back(async(a, 256));
+            calls.push_back(async(b, 256));
+            calls.push_back(async(c, 256));
+        }
+        return calls;
+    };
+
+    FunctionId upload_unique = composite(
+        r, "UploadUniqueId", 0.30,
+        twelve(unique_id, movie_id, user_review));
+    FunctionId compose_review = composite(
+        r, "ComposeReview", 0.40,
+        twelve(text, rating, review_store));
+    FunctionId read_reviews = composite(
+        r, "ReadReviews", 0.35,
+        twelve(movie_review, review_store, user_review));
+
+    std::vector<CallSpec> page_calls;
+    for (int i = 0; i < 104; ++i)
+        page_calls.push_back(async(page_component, 256));
+    page_calls.push_back(async(cast_info, 512));
+    page_calls.push_back(async(plot, 512));
+    FunctionId read_page =
+        composite(r, "ReadPage", 30.0, std::move(page_calls), 0.2);
+
+    // ReadPage's > 100-way fan-out makes it two orders of magnitude
+    // heavier than the other entries; it stays rare in the mix (as a
+    // full page render would be behind caches) so the P99 reflects the
+    // typical 12-fan-out path while Fig. 11 still profiles RP itself.
+    w.mix = {{upload_unique, 0.40},
+             {compose_review, 0.30},
+             {read_reviews, 0.295},
+             {read_page, 0.005}};
+    w.selected = {{"UU", upload_unique}, {"RP", read_page}};
+    return w;
+}
+
+Workload
+makeSocial()
+{
+    Workload w;
+    w.name = "Social";
+    FunctionRegistry &r = w.registry;
+
+    FunctionId user_svc = leaf(r, "UserService", 0.80);
+    FunctionId graph = leaf(r, "SocialGraph", 0.70);
+    FunctionId unique_id = leaf(r, "UniqueIdGen", 0.50);
+    FunctionId text_svc = leaf(r, "TextService", 5.00, 0.4);
+    FunctionId media_svc = leaf(r, "MediaService", 4.00, 0.5);
+    FunctionId mention = leaf(r, "UserMention", 3.00, 0.4);
+    FunctionId post_storage = leaf(r, "PostStorage", 4.00, 0.4);
+
+    FunctionId follow = composite(r, "Follow", 1.00,
+                                  {sync(user_svc, 384),
+                                   async(graph, 384)});
+    FunctionId compose_post = composite(
+        r, "ComposePost", 60.0,
+        {sync(text_svc, 1024), async(media_svc, 1024),
+         async(mention, 512), async(unique_id, 256)},
+        0.25);
+    FunctionId home_timeline = composite(
+        r, "ReadHomeTimeline", 8.0,
+        {sync(post_storage, 1024), async(graph, 512)}, 0.4);
+    FunctionId user_timeline = composite(
+        r, "ReadUserTimeline", 6.0, {sync(post_storage, 1024)}, 0.4);
+
+    w.mix = {{home_timeline, 0.35},
+             {user_timeline, 0.20},
+             {follow, 0.20},
+             {compose_post, 0.25}};
+    w.selected = {{"F", follow}, {"CP", compose_post}};
+    return w;
+}
+
+std::vector<Workload>
+makeAll()
+{
+    std::vector<Workload> all;
+    all.push_back(makeHipster());
+    all.push_back(makeHotel());
+    all.push_back(makeMedia());
+    all.push_back(makeSocial());
+    return all;
+}
+
+Workload
+makeByName(const std::string &name)
+{
+    if (name == "Hipster")
+        return makeHipster();
+    if (name == "Hotel")
+        return makeHotel();
+    if (name == "Media")
+        return makeMedia();
+    if (name == "Social")
+        return makeSocial();
+    sim::fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace jord::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Microservice workload models (§5).
+ *
+ * The paper ports three DeathStarBench applications (Social, Media,
+ * Hotel) [25] and Google's OnlineBoutique ("Hipster") [27] to Jord's
+ * function paradigm. We do not have the original application binaries,
+ * so each workload is modelled as its function graph: per-function
+ * execution-time distributions, nested-call fan-out (an average of 3
+ * nested invocations per entry function; 12 for Media, and > 100 for
+ * Media's ReadPage, §6.1/§6.2), and ArgBuf sizes (~15 cache blocks of
+ * communication per request, §6.3). Table 3's eight selected functions
+ * (GC, PO, SN, MR, UU, RP, F, CP) are exposed for the Fig. 11
+ * breakdown.
+ */
+
+#ifndef JORD_WORKLOADS_WORKLOADS_HH
+#define JORD_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/registry.hh"
+#include "runtime/worker.hh"
+
+namespace jord::workloads {
+
+/** A complete workload: functions, entry mix, and selected functions. */
+struct Workload {
+    std::string name;
+    runtime::FunctionRegistry registry;
+    runtime::EntryMix mix;
+    /** Table 3 functions: (abbreviation, FunctionId). */
+    std::vector<std::pair<std::string, runtime::FunctionId>> selected;
+};
+
+/** OnlineBoutique / "Hipster" (GetCart, PlaceOrder selected). */
+Workload makeHipster();
+
+/** DeathStarBench Hotel (SearchNearby, MakeReservation selected). */
+Workload makeHotel();
+
+/** DeathStarBench Media (UploadUniqueId, ReadPage selected). */
+Workload makeMedia();
+
+/** DeathStarBench Social (Follow, ComposePost selected). */
+Workload makeSocial();
+
+/** All four, in the paper's order: Hipster, Hotel, Media, Social. */
+std::vector<Workload> makeAll();
+
+/** Look one up by (case-sensitive) name. */
+Workload makeByName(const std::string &name);
+
+} // namespace jord::workloads
+
+#endif // JORD_WORKLOADS_WORKLOADS_HH

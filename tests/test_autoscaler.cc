@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Tests for the fleet autoscaler.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runtime/autoscaler.hh"
+#include "runtime/builder.hh"
+
+namespace {
+
+using namespace jord;
+using runtime::App;
+using runtime::AppBuilder;
+using runtime::AutoscaleConfig;
+using runtime::Autoscaler;
+using runtime::EpochStats;
+
+App
+simpleApp()
+{
+    AppBuilder app;
+    app.function("f").compute(1.0).execCv(0.2);
+    app.entry("f", 1.0);
+    return app.build();
+}
+
+TEST(Autoscaler, HoldsAtLowLoad)
+{
+    App app = simpleApp();
+    AutoscaleConfig cfg;
+    cfg.sloUs = 60.0;
+    cfg.minWorkers = 1;
+    cfg.maxWorkers = 4;
+    cfg.requestsPerEpoch = 2000;
+    Autoscaler fleet(cfg, app.registry);
+
+    EpochStats e = fleet.runEpoch(1.0, app.mix);
+    EXPECT_TRUE(e.metSlo);
+    EXPECT_EQ(e.activeWorkers, 1u);
+    EXPECT_LE(fleet.activeWorkers(), 1u);
+}
+
+TEST(Autoscaler, ScalesOutUnderPressure)
+{
+    App app = simpleApp();
+    AutoscaleConfig cfg;
+    cfg.sloUs = 30.0;
+    cfg.minWorkers = 1;
+    cfg.maxWorkers = 4;
+    cfg.requestsPerEpoch = 3000;
+    Autoscaler fleet(cfg, app.registry);
+
+    // ~1 us functions on ~28 executors saturate one worker around
+    // 20 MRPS; 30 MRPS must blow the P99 and trigger scale-out.
+    std::vector<EpochStats> trace =
+        fleet.runTrace({30.0, 30.0, 30.0, 30.0}, app.mix);
+    EXPECT_GT(fleet.activeWorkers(), 1u);
+    // Once enough workers are active, the SLO is met again.
+    EXPECT_TRUE(trace.back().metSlo);
+}
+
+TEST(Autoscaler, ScalesBackInWhenLoadDrops)
+{
+    App app = simpleApp();
+    AutoscaleConfig cfg;
+    cfg.sloUs = 30.0;
+    cfg.maxWorkers = 4;
+    cfg.requestsPerEpoch = 3000;
+    Autoscaler fleet(cfg, app.registry);
+
+    auto heavy = fleet.runTrace({30.0, 30.0, 30.0}, app.mix);
+    unsigned peak = fleet.activeWorkers();
+    for (const EpochStats &e : heavy)
+        peak = std::max(peak, e.activeWorkers);
+    EXPECT_GT(peak, 1u);
+    fleet.runTrace({0.5, 0.5, 0.5, 0.5}, app.mix);
+    EXPECT_EQ(fleet.activeWorkers(), 1u);
+}
+
+TEST(Autoscaler, RespectsMaxWorkers)
+{
+    App app = simpleApp();
+    AutoscaleConfig cfg;
+    cfg.sloUs = 10.0; // unreachably tight under this load
+    cfg.maxWorkers = 2;
+    cfg.requestsPerEpoch = 1500;
+    Autoscaler fleet(cfg, app.registry);
+    fleet.runTrace({40.0, 40.0, 40.0, 40.0}, app.mix);
+    EXPECT_LE(fleet.activeWorkers(), 2u);
+}
+
+TEST(Autoscaler, FleetThroughputAddsUp)
+{
+    App app = simpleApp();
+    AutoscaleConfig cfg;
+    cfg.sloUs = 100.0;
+    cfg.minWorkers = 2;
+    cfg.maxWorkers = 2;
+    cfg.requestsPerEpoch = 3000;
+    Autoscaler fleet(cfg, app.registry);
+    EpochStats e = fleet.runEpoch(8.0, app.mix);
+    EXPECT_NEAR(e.achievedMrps, 8.0, 1.2);
+    EXPECT_EQ(e.activeWorkers, 2u);
+}
+
+TEST(AutoscalerDeathTest, InvalidBoundsFatal)
+{
+    App app = simpleApp();
+    AutoscaleConfig cfg;
+    cfg.minWorkers = 5;
+    cfg.maxWorkers = 2;
+    EXPECT_DEATH(Autoscaler(cfg, app.registry), "bounds");
+}
+
+} // namespace

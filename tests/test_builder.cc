@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the Listing 1-style AppBuilder API.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/builder.hh"
+
+namespace {
+
+using namespace jord;
+using runtime::App;
+using runtime::AppBuilder;
+using runtime::RunResult;
+using runtime::WorkerConfig;
+using runtime::WorkerServer;
+
+TEST(AppBuilder, BuildsRegistryAndMix)
+{
+    AppBuilder app;
+    app.function("src").compute(0.5).async("leaf").compute(0.2);
+    app.function("leaf").compute(0.3);
+    app.entry("src", 1.0);
+    App built = app.build();
+
+    ASSERT_EQ(built.registry.size(), 2u);
+    auto src = built.registry.findByName("src");
+    ASSERT_TRUE(src.has_value());
+    const auto &spec = built.registry.at(*src).spec;
+    EXPECT_NEAR(spec.execMeanUs, 0.7, 1e-9);
+    ASSERT_EQ(spec.calls.size(), 1u);
+    EXPECT_FALSE(spec.calls[0].sync);
+    ASSERT_EQ(spec.segmentWeights.size(), 2u);
+    EXPECT_NEAR(spec.segmentWeights[0], 0.5, 1e-9);
+    EXPECT_NEAR(spec.segmentWeights[1], 0.2, 1e-9);
+    ASSERT_EQ(built.mix.size(), 1u);
+    EXPECT_EQ(built.mix[0].first, *src);
+}
+
+TEST(AppBuilder, CallIsSynchronous)
+{
+    AppBuilder app;
+    app.function("a").compute(0.1).call("b").compute(0.1);
+    app.function("b").compute(0.1);
+    app.entry("a", 1.0);
+    App built = app.build();
+    EXPECT_TRUE(built.registry.at(0).spec.calls[0].sync);
+}
+
+TEST(AppBuilder, ForwardReferencesResolve)
+{
+    AppBuilder app;
+    // "a" calls "b" before "b" is declared.
+    app.function("a").compute(0.1).call("b");
+    app.function("b").compute(0.1);
+    app.entry("a", 1.0);
+    App built = app.build();
+    EXPECT_EQ(built.registry.at(0).spec.calls[0].target,
+              built.registry.findByName("b").value());
+}
+
+TEST(AppBuilder, FunctionReturnsSameBuilder)
+{
+    AppBuilder app;
+    app.function("x").compute(0.1);
+    app.function("y").compute(0.1); // may reallocate storage
+    app.function("x").compute(0.2); // still the same function
+    app.entry("x", 1.0);
+    App built = app.build();
+    EXPECT_NEAR(built.registry.at(0).spec.execMeanUs, 0.3, 1e-9);
+}
+
+TEST(AppBuilderDeathTest, UnknownTargetFatal)
+{
+    AppBuilder app;
+    app.function("a").compute(0.1).call("ghost");
+    app.entry("a", 1.0);
+    EXPECT_DEATH(app.build(), "unknown function");
+}
+
+TEST(AppBuilderDeathTest, UnknownEntryFatal)
+{
+    AppBuilder app;
+    app.function("a").compute(0.1);
+    app.entry("ghost", 1.0);
+    EXPECT_DEATH(app.build(), "unknown entry");
+}
+
+TEST(AppBuilderDeathTest, EmptyMixFatal)
+{
+    AppBuilder app;
+    app.function("a").compute(0.1);
+    EXPECT_DEATH(app.build(), "no entry points");
+}
+
+TEST(AppBuilderDeathTest, CycleFatal)
+{
+    AppBuilder app;
+    app.function("a").compute(0.1).call("b");
+    app.function("b").compute(0.1).call("a");
+    app.entry("a", 1.0);
+    EXPECT_DEATH(app.build(), "cycle");
+}
+
+TEST(AppBuilderDeathTest, SelfRecursionFatal)
+{
+    AppBuilder app;
+    app.function("a").compute(0.1).call("a");
+    app.entry("a", 1.0);
+    EXPECT_DEATH(app.build(), "cycle");
+}
+
+TEST(AppBuilderDeathTest, ZeroComputeFatal)
+{
+    AppBuilder app;
+    app.function("a");
+    app.entry("a", 1.0);
+    EXPECT_DEATH(app.build(), "no compute");
+}
+
+TEST(AppBuilder, DiamondIsNotACycle)
+{
+    AppBuilder app;
+    app.function("top").compute(0.1).async("l").async("r");
+    app.function("l").compute(0.1).call("bottom");
+    app.function("r").compute(0.1).call("bottom");
+    app.function("bottom").compute(0.1);
+    app.entry("top", 1.0);
+    App built = app.build();
+    EXPECT_EQ(built.registry.size(), 4u);
+}
+
+TEST(AppBuilder, SegmentWeightsDriveExecutionSplit)
+{
+    // A function whose compute is all *after* the sync call: the
+    // child must observe the parent suspending almost immediately.
+    AppBuilder app;
+    app.function("late").compute(0.01).call("child").compute(2.0);
+    app.function("child").compute(0.2);
+    app.entry("late", 1.0);
+    App built = app.build();
+
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, built.registry);
+    RunResult res = worker.run(0.2, 3000, built.mix);
+    // Parent service ~= 0.01 + child(0.2 + overheads) + 2.0.
+    double parent = res.perFunctionServiceUs[0].mean();
+    EXPECT_GT(parent, 2.1);
+    EXPECT_LT(parent, 4.0);
+}
+
+TEST(AppBuilder, RunsEndToEnd)
+{
+    AppBuilder app;
+    app.function("SrcFunc")
+        .compute(0.25)
+        .async("Tgt1", 256)
+        .call("Tgt2", 256)
+        .compute(0.35);
+    app.function("Tgt1").compute(0.5);
+    app.function("Tgt2").compute(0.7);
+    app.entry("SrcFunc", 1.0);
+    App built = app.build();
+
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, built.registry);
+    RunResult res = worker.run(0.5, 2000, built.mix);
+    EXPECT_EQ(res.completedRequests, 1600u);
+    EXPECT_EQ(res.invocations, 3 * 1600u);
+    // SrcFunc waits for both targets: its service dominates theirs.
+    EXPECT_GT(res.perFunctionServiceUs[0].mean(),
+              res.perFunctionServiceUs[2].mean());
+}
+
+} // namespace

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Tests for the directory-based MESI coherence engine: state
+ * transitions, timing ordering, L1 capacity, atomics, and the T-bit
+ * observer protocol.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/coherence.hh"
+
+namespace {
+
+using jord::mem::Access;
+using jord::mem::CacheState;
+using jord::mem::CoherenceEngine;
+using jord::mem::CoreMask;
+using jord::mem::TranslationObserver;
+using jord::noc::Mesh;
+using jord::sim::Addr;
+using jord::sim::Cycles;
+using jord::sim::MachineConfig;
+
+constexpr Addr kA = 0x1000;
+constexpr Addr kB = 0x2000;
+
+class CoherenceTest : public ::testing::Test
+{
+  protected:
+    MachineConfig cfg = MachineConfig::isca25Default();
+    Mesh mesh{cfg};
+    CoherenceEngine engine{cfg, mesh};
+};
+
+TEST_F(CoherenceTest, ColdReadFillsExclusiveFromDram)
+{
+    Access acc = engine.read(0, kA);
+    EXPECT_FALSE(acc.l1Hit);
+    EXPECT_FALSE(acc.llcHit);
+    EXPECT_GE(acc.latency, cfg.dramCycles);
+    EXPECT_EQ(engine.stateOf(kA), CacheState::Exclusive);
+    EXPECT_TRUE(engine.cachedIn(0, kA));
+}
+
+TEST_F(CoherenceTest, SecondReadIsL1Hit)
+{
+    engine.read(0, kA);
+    Access acc = engine.read(0, kA);
+    EXPECT_TRUE(acc.l1Hit);
+    EXPECT_EQ(acc.latency, cfg.l1HitCycles);
+    EXPECT_EQ(acc.messages, 0u);
+}
+
+TEST_F(CoherenceTest, SharedReadersDowngradeToShared)
+{
+    engine.read(0, kA);
+    Access acc = engine.read(1, kA);
+    EXPECT_FALSE(acc.l1Hit);
+    EXPECT_TRUE(acc.llcHit);
+    EXPECT_EQ(engine.stateOf(kA), CacheState::Shared);
+    EXPECT_TRUE(engine.cachedIn(0, kA));
+    EXPECT_TRUE(engine.cachedIn(1, kA));
+    EXPECT_EQ(engine.sharersOf(kA).count(), 2u);
+}
+
+TEST_F(CoherenceTest, WriteMakesModified)
+{
+    engine.write(0, kA);
+    EXPECT_EQ(engine.stateOf(kA), CacheState::Modified);
+    Access again = engine.write(0, kA);
+    EXPECT_TRUE(again.l1Hit);
+    EXPECT_EQ(again.latency, cfg.l1HitCycles);
+}
+
+TEST_F(CoherenceTest, SilentExclusiveToModifiedUpgrade)
+{
+    engine.read(0, kA); // E
+    Access acc = engine.write(0, kA);
+    EXPECT_TRUE(acc.l1Hit);
+    EXPECT_EQ(engine.stateOf(kA), CacheState::Modified);
+}
+
+TEST_F(CoherenceTest, UpgradeInvalidatesOtherSharers)
+{
+    engine.read(0, kA);
+    engine.read(1, kA);
+    engine.read(2, kA);
+    auto before = engine.stats().invalidations;
+    Access acc = engine.write(1, kA);
+    EXPECT_FALSE(acc.l1Hit);
+    EXPECT_EQ(engine.stats().invalidations, before + 2);
+    EXPECT_EQ(engine.stateOf(kA), CacheState::Modified);
+    EXPECT_FALSE(engine.cachedIn(0, kA));
+    EXPECT_TRUE(engine.cachedIn(1, kA));
+    EXPECT_FALSE(engine.cachedIn(2, kA));
+}
+
+TEST_F(CoherenceTest, DirtyRemoteReadForwardsFromOwner)
+{
+    engine.write(0, kA);
+    Access acc = engine.read(1, kA);
+    EXPECT_TRUE(acc.llcHit);
+    EXPECT_GE(acc.messages, 3u);
+    EXPECT_EQ(engine.stateOf(kA), CacheState::Shared);
+    // Owner forward must cost more than a plain LLC fetch.
+    engine.flushAll();
+    engine.read(2, kB);
+    engine.evictL1(2, kB);
+    Access llc_only = engine.read(1, kB);
+    EXPECT_GT(acc.latency, cfg.l1HitCycles);
+    EXPECT_TRUE(llc_only.llcHit);
+}
+
+TEST_F(CoherenceTest, RemoteDirtyWriteTransfersOwnership)
+{
+    engine.write(0, kA);
+    Access acc = engine.write(1, kA);
+    EXPECT_FALSE(acc.l1Hit);
+    EXPECT_EQ(engine.stateOf(kA), CacheState::Modified);
+    EXPECT_TRUE(engine.cachedIn(1, kA));
+    EXPECT_FALSE(engine.cachedIn(0, kA));
+}
+
+TEST_F(CoherenceTest, LatencyOrderingL1LlcDram)
+{
+    Access dram = engine.read(0, kA); // cold
+    engine.evictL1(0, kA);
+    Access llc = engine.read(0, kA); // LLC
+    Access l1 = engine.read(0, kA);  // L1
+    EXPECT_LT(l1.latency, llc.latency);
+    EXPECT_LT(llc.latency, dram.latency);
+}
+
+TEST_F(CoherenceTest, EvictL1WritesBackDirtyLine)
+{
+    engine.write(0, kA);
+    engine.evictL1(0, kA);
+    EXPECT_FALSE(engine.cachedIn(0, kA));
+    EXPECT_EQ(engine.stateOf(kA), CacheState::Invalid);
+    // The block stays on chip: refetch hits the LLC.
+    Access acc = engine.read(0, kA);
+    EXPECT_TRUE(acc.llcHit);
+}
+
+TEST_F(CoherenceTest, AtomicBehavesLikeWritePlusAlu)
+{
+    Access w = engine.write(0, kA);
+    engine.flushAll();
+    Access a = engine.atomic(0, kA);
+    EXPECT_EQ(a.latency, w.latency + 1);
+    EXPECT_EQ(engine.stats().atomics, 1u);
+}
+
+TEST_F(CoherenceTest, L1CapacityEvictsLru)
+{
+    // Fill the L1 beyond capacity; the first line must be gone.
+    for (unsigned i = 0; i < cfg.l1Lines + 10; ++i)
+        engine.read(0, kA + static_cast<Addr>(i) * 64);
+    EXPECT_FALSE(engine.cachedIn(0, kA));
+    EXPECT_TRUE(engine.cachedIn(
+        0, kA + static_cast<Addr>(cfg.l1Lines + 9) * 64));
+    // The evicted line refetches from the LLC, not DRAM.
+    Access acc = engine.read(0, kA);
+    EXPECT_TRUE(acc.llcHit);
+}
+
+TEST_F(CoherenceTest, L1LruKeepsHotLines)
+{
+    engine.read(0, kA); // will be kept hot
+    for (unsigned i = 0; i < cfg.l1Lines - 1; ++i) {
+        engine.read(0, kB + static_cast<Addr>(i) * 64);
+        engine.read(0, kA); // touch to keep at MRU
+    }
+    // One more line evicts the LRU (an early kB line), not kA.
+    engine.read(0, kB + static_cast<Addr>(cfg.l1Lines) * 64);
+    EXPECT_TRUE(engine.cachedIn(0, kA));
+}
+
+TEST_F(CoherenceTest, StatsCount)
+{
+    engine.read(0, kA);
+    engine.read(0, kA);
+    engine.write(1, kA);
+    const auto &stats = engine.stats();
+    EXPECT_EQ(stats.reads, 2u);
+    EXPECT_EQ(stats.writes, 1u);
+    EXPECT_EQ(stats.l1Hits, 1u);
+    EXPECT_EQ(stats.dramFills, 1u);
+    EXPECT_GT(stats.messages, 0u);
+}
+
+TEST_F(CoherenceTest, SubBlockAddressesShareALine)
+{
+    engine.read(0, kA);
+    Access acc = engine.read(0, kA + 32);
+    EXPECT_TRUE(acc.l1Hit);
+}
+
+// --- T-bit observer protocol ------------------------------------------------
+
+struct RecordingObserver : TranslationObserver {
+    unsigned reads = 0;
+    unsigned writes = 0;
+    unsigned locals = 0;
+    unsigned evicts = 0;
+    CoreMask lastDir;
+    Cycles extra = 0;
+
+    void
+    translationRead(unsigned, Addr) override
+    {
+        ++reads;
+    }
+    Cycles
+    translationWrite(unsigned, Addr, const CoreMask &dir) override
+    {
+        ++writes;
+        lastDir = dir;
+        return extra;
+    }
+    void
+    translationWriteLocal(unsigned, Addr) override
+    {
+        ++locals;
+    }
+    void
+    directoryEvict(Addr, const CoreMask &dir) override
+    {
+        ++evicts;
+        lastDir = dir;
+    }
+};
+
+TEST_F(CoherenceTest, TbitReadNotifiesObserverOnlyOnMiss)
+{
+    RecordingObserver obs;
+    engine.setTranslationObserver(&obs);
+    engine.read(0, kA, true);
+    EXPECT_EQ(obs.reads, 1u);
+    engine.read(0, kA, true); // L1 hit: no directory traffic
+    EXPECT_EQ(obs.reads, 1u);
+}
+
+TEST_F(CoherenceTest, TbitWriteLocalWhenDirtyInOwnL1)
+{
+    RecordingObserver obs;
+    engine.setTranslationObserver(&obs);
+    engine.write(0, kA, true); // miss -> translationWrite
+    EXPECT_EQ(obs.writes, 1u);
+    engine.write(0, kA, true); // M hit -> local
+    EXPECT_EQ(obs.locals, 1u);
+    EXPECT_EQ(obs.writes, 1u);
+}
+
+TEST_F(CoherenceTest, TbitWritePassesDirectorySharers)
+{
+    RecordingObserver obs;
+    engine.setTranslationObserver(&obs);
+    engine.read(1, kA);
+    engine.read(2, kA);
+    engine.write(0, kA, true);
+    EXPECT_TRUE(obs.lastDir.test(1));
+    EXPECT_TRUE(obs.lastDir.test(2));
+}
+
+TEST_F(CoherenceTest, ObserverExtraLatencyIsAdded)
+{
+    RecordingObserver obs;
+    obs.extra = 500;
+    engine.setTranslationObserver(&obs);
+    engine.read(1, kA);
+    Access with = engine.write(0, kA, true);
+    engine.flushAll();
+    obs.extra = 0;
+    engine.read(1, kA);
+    Access without = engine.write(0, kA, true);
+    EXPECT_EQ(with.latency, without.latency + 500);
+}
+
+TEST_F(CoherenceTest, DirectoryEvictNotifiesWithSharers)
+{
+    RecordingObserver obs;
+    engine.setTranslationObserver(&obs);
+    engine.read(3, kA);
+    engine.evictDirectory(kA);
+    EXPECT_EQ(obs.evicts, 1u);
+    EXPECT_TRUE(obs.lastDir.test(3));
+    EXPECT_EQ(engine.stateOf(kA), CacheState::Invalid);
+}
+
+// --- CoreMask ----------------------------------------------------------------
+
+TEST(CoreMask, BasicOperations)
+{
+    CoreMask mask;
+    EXPECT_TRUE(mask.none());
+    mask.set(3);
+    mask.set(200);
+    EXPECT_TRUE(mask.test(3));
+    EXPECT_TRUE(mask.test(200));
+    EXPECT_FALSE(mask.test(4));
+    EXPECT_EQ(mask.count(), 2u);
+    EXPECT_FALSE(mask.onlyContains(3));
+    mask.clear(200);
+    EXPECT_TRUE(mask.onlyContains(3));
+}
+
+TEST(CoreMask, ForEachVisitsInOrder)
+{
+    CoreMask mask;
+    mask.set(5);
+    mask.set(64);
+    mask.set(255);
+    std::vector<unsigned> seen;
+    mask.forEach([&](unsigned core) { seen.push_back(core); });
+    EXPECT_EQ(seen, (std::vector<unsigned>{5, 64, 255}));
+}
+
+TEST(CoreMask, SetOperators)
+{
+    CoreMask a, b;
+    a.set(1);
+    b.set(2);
+    a |= b;
+    EXPECT_EQ(a.count(), 2u);
+    CoreMask c;
+    c.set(2);
+    a &= c;
+    EXPECT_TRUE(a.onlyContains(2));
+}
+
+} // namespace

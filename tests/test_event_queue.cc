@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the deterministic event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using jord::sim::EventQueue;
+using jord::sim::Tick;
+
+TEST(EventQueue, StartsEmptyAtTickZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, DispatchesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.curTick(), 30u);
+}
+
+TEST(EventQueue, SameTickEventsFireInInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(5, [&order, i] { order.push_back(i); });
+    q.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    Tick seen = 0;
+    q.schedule(100, [&] {
+        q.scheduleAfter(50, [&] { seen = q.curTick(); });
+    });
+    q.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        if (++count < 100)
+            q.scheduleAfter(1, chain);
+    };
+    q.schedule(0, chain);
+    q.run();
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(q.curTick(), 99u);
+}
+
+TEST(EventQueue, CancelPreventsDispatch)
+{
+    EventQueue q;
+    bool fired = false;
+    auto handle = q.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(handle));
+    q.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndRejectsBogusHandles)
+{
+    EventQueue q;
+    auto handle = q.schedule(10, [] {});
+    EXPECT_TRUE(q.cancel(handle));
+    EXPECT_FALSE(q.cancel(handle));
+    EXPECT_FALSE(q.cancel(0));
+    EXPECT_FALSE(q.cancel(9999));
+    q.run();
+}
+
+TEST(EventQueue, CancelOneOfManyAtSameTick)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(0); });
+    auto mid = q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.cancel(mid);
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 2}));
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    q.schedule(10, [&] { fired.push_back(10); });
+    q.schedule(20, [&] { fired.push_back(20); });
+    q.schedule(30, [&] { fired.push_back(30); });
+    q.runUntil(20);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20}));
+    EXPECT_EQ(q.curTick(), 20u);
+    EXPECT_EQ(q.size(), 1u);
+    q.run();
+    EXPECT_EQ(fired.back(), 30u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWhenIdle)
+{
+    EventQueue q;
+    q.runUntil(500);
+    EXPECT_EQ(q.curTick(), 500u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.schedule(20, [] {});
+    q.step();
+    q.reset();
+    EXPECT_EQ(q.curTick(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CountsDispatchedEvents)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(static_cast<Tick>(i), [] {});
+    q.run();
+    EXPECT_EQ(q.numDispatched(), 7u);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue q;
+    q.schedule(100, [] {});
+    q.step();
+    EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}
+
+} // namespace

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Randomized stress tests of the full isolation stack against an
+ * independent reference model.
+ *
+ * Thousands of random PrivLib operations (mmap/munmap/mprotect/pmove/
+ * pcopy/cget/cput) run from random cores and domains, while a simple
+ * map-based oracle tracks who should be able to access what. After
+ * every mutation batch, random probe accesses through the real UAT
+ * hardware (VLBs, VTW, sub-arrays, overflow lists, shootdowns) must
+ * agree with the oracle exactly — any divergence is either a missed
+ * fault (security hole) or a spurious fault (correctness bug).
+ */
+
+#include "tests/fixture.hh"
+
+#include <map>
+#include <set>
+
+#include "sim/rng.hh"
+
+namespace {
+
+using jord::privlib::PrivLib;
+using jord::privlib::PrivResult;
+using jord::sim::Addr;
+using jord::sim::Rng;
+using jord::test::JordStackTest;
+using jord::uat::PdId;
+using jord::uat::Perm;
+using jord::uat::UatAccess;
+
+/** The oracle's view of one VMA. */
+struct RefVma {
+    std::uint64_t bound = 0;
+    std::map<PdId, std::uint8_t> perms; ///< pd -> perm bits
+};
+
+class IsolationFuzz : public JordStackTest,
+                      public ::testing::WithParamInterface<unsigned>
+{
+  protected:
+    Rng rng{GetParam()};
+    std::vector<PdId> pds;
+    std::map<Addr, RefVma> vmas; ///< oracle state
+
+    PdId
+    randomPd()
+    {
+        return pds[rng.uniformInt(
+            static_cast<std::uint64_t>(pds.size()))];
+    }
+
+    Perm
+    randomPerm()
+    {
+        // Never X-only; always readable to keep probes simple.
+        static const std::uint8_t choices[] = {
+            Perm::R, Perm::R | Perm::W, Perm::R | Perm::X,
+            Perm::R | Perm::W | Perm::X};
+        return Perm(choices[rng.uniformInt(std::uint64_t(4))]);
+    }
+
+    /** Run one PrivLib call from a core configured for @p pd. */
+    template <typename Fn>
+    PrivResult
+    as(PdId pd, Fn &&fn)
+    {
+        unsigned core = static_cast<unsigned>(
+            rng.uniformInt(std::uint64_t(cfg.numCores)));
+        PdId saved = uat->csrFile(core).ucid;
+        uat->csrFile(core).ucid = pd;
+        PrivResult res = fn(core);
+        uat->csrFile(core).ucid = saved;
+        return res;
+    }
+
+    void
+    doMmap()
+    {
+        PdId pd = randomPd();
+        std::uint64_t len = 64 + rng.uniformInt(std::uint64_t(32768));
+        Perm prot = randomPerm();
+        PrivResult res = as(PrivLib::kRootPd, [&](unsigned core) {
+            return privlib->mmapFor(core, pd, len, prot);
+        });
+        ASSERT_TRUE(res.ok);
+        RefVma ref;
+        ref.bound = len;
+        ref.perms[pd] = prot.bits;
+        vmas[res.value] = ref;
+    }
+
+    void
+    doMunmap()
+    {
+        if (vmas.empty())
+            return;
+        auto it = pickVma();
+        // The unmapper must be a PD holding the VMA (or root).
+        PdId actor = it->second.perms.empty()
+                         ? PrivLib::kRootPd
+                         : it->second.perms.begin()->first;
+        PrivResult res = as(actor, [&](unsigned core) {
+            return privlib->munmap(core, it->first, it->second.bound);
+        });
+        ASSERT_TRUE(res.ok) << jord::uat::faultName(res.fault);
+        vmas.erase(it);
+    }
+
+    void
+    doMprotect()
+    {
+        if (vmas.empty())
+            return;
+        auto it = pickVma();
+        if (it->second.perms.empty())
+            return;
+        PdId actor = it->second.perms.begin()->first;
+        Perm prot = randomPerm();
+        PrivResult res = as(actor, [&](unsigned core) {
+            return privlib->mprotect(core, it->first, it->second.bound,
+                                     prot);
+        });
+        ASSERT_TRUE(res.ok);
+        it->second.perms[actor] = prot.bits;
+    }
+
+    void
+    doTransfer(bool move)
+    {
+        if (vmas.empty())
+            return;
+        auto it = pickVma();
+        if (it->second.perms.empty())
+            return;
+        PdId src = it->second.perms.begin()->first;
+        PdId dst = randomPd();
+        std::uint8_t held = it->second.perms.begin()->second;
+        // Transfer a random subset of the held permission.
+        std::uint8_t bits = held & (rng.chance(0.5) ? 0x7 : Perm::R);
+        if (bits == 0)
+            return;
+        PrivResult res = as(src, [&](unsigned core) {
+            return move ? privlib->pmove(core, it->first, dst,
+                                         Perm(bits))
+                        : privlib->pcopy(core, it->first, dst,
+                                         Perm(bits));
+        });
+        if (src == dst && move) {
+            // Moving to oneself is a permission update.
+            if (res.ok)
+                it->second.perms[src] = bits;
+            return;
+        }
+        ASSERT_TRUE(res.ok) << jord::uat::faultName(res.fault);
+        if (move)
+            it->second.perms.erase(src);
+        it->second.perms[dst] = bits;
+    }
+
+    std::map<Addr, RefVma>::iterator
+    pickVma()
+    {
+        auto it = vmas.begin();
+        std::advance(it, rng.uniformInt(
+                             static_cast<std::uint64_t>(vmas.size())));
+        return it;
+    }
+
+    /** Probe random (pd, va, perm) triples against the oracle. */
+    void
+    verify(unsigned probes)
+    {
+        for (unsigned i = 0; i < probes && !vmas.empty(); ++i) {
+            auto it = pickVma();
+            PdId pd = randomPd();
+            std::uint64_t offset =
+                rng.uniformInt(it->second.bound + 64);
+            Perm need = rng.chance(0.5) ? Perm::r()
+                                        : Perm(Perm::R | Perm::W);
+            unsigned core = static_cast<unsigned>(
+                rng.uniformInt(std::uint64_t(cfg.numCores)));
+
+            PdId saved = uat->csrFile(core).ucid;
+            uat->csrFile(core).ucid = pd;
+            UatAccess acc =
+                uat->dataAccess(core, it->first + offset, need);
+            uat->csrFile(core).ucid = saved;
+
+            bool in_bound = offset < it->second.bound;
+            auto perm_it = it->second.perms.find(pd);
+            bool allowed =
+                in_bound && perm_it != it->second.perms.end() &&
+                (perm_it->second & need.bits) == need.bits;
+            ASSERT_EQ(acc.ok(), allowed)
+                << "probe " << i << ": pd=" << pd << " off=" << offset
+                << " need=" << int(need.bits) << " fault="
+                << jord::uat::faultName(acc.fault);
+        }
+    }
+};
+
+TEST_P(IsolationFuzz, RandomOpsMatchReferenceModel)
+{
+    // Create a small population of domains.
+    for (int i = 0; i < 6; ++i)
+        pds.push_back(mustCget(0));
+
+    for (int round = 0; round < 60; ++round) {
+        for (int op = 0; op < 25; ++op) {
+            double pick = rng.uniform();
+            if (pick < 0.30)
+                doMmap();
+            else if (pick < 0.45)
+                doMunmap();
+            else if (pick < 0.60)
+                doMprotect();
+            else if (pick < 0.80)
+                doTransfer(/*move=*/true);
+            else
+                doTransfer(/*move=*/false);
+            if (HasFatalFailure())
+                return;
+        }
+        verify(40);
+        if (HasFatalFailure())
+            return;
+    }
+
+    // Drain: everything must unmap cleanly and the PDs must retire.
+    while (!vmas.empty()) {
+        doMunmap();
+        if (HasFatalFailure())
+            return;
+    }
+    for (PdId pd : pds)
+        EXPECT_TRUE(privlib->cput(0, pd).ok) << "pd " << pd;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsolationFuzz,
+                         ::testing::Values(1u, 2u, 3u, 17u, 42u));
+
+} // namespace

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Cross-module integration and property tests: the headline ordering
+ * relations the paper's evaluation rests on, checked end-to-end on the
+ * assembled systems at moderate load.
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/kernel.hh"
+#include "runtime/worker.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace jord;
+using runtime::RunResult;
+using runtime::SystemKind;
+using runtime::WorkerConfig;
+using runtime::WorkerServer;
+
+RunResult
+runSystem(const workloads::Workload &w, SystemKind system, double load,
+          std::uint64_t requests = 4000)
+{
+    WorkerConfig cfg;
+    cfg.system = system;
+    WorkerServer worker(cfg, w.registry);
+    return worker.run(load, requests, w.mix);
+}
+
+TEST(Integration, JordNiNeverSlowerThanJordOnMeanService)
+{
+    for (workloads::Workload &w : workloads::makeAll()) {
+        double load = w.name == "Social" ? 0.2 : 1.0;
+        RunResult jord = runSystem(w, SystemKind::Jord, load);
+        RunResult ni = runSystem(w, SystemKind::JordNI, load);
+        EXPECT_LT(ni.serviceUs.mean(), jord.serviceUs.mean() * 1.05)
+            << w.name;
+    }
+}
+
+TEST(Integration, NightCoreSlowestOnService)
+{
+    for (workloads::Workload &w : workloads::makeAll()) {
+        double load = w.name == "Social" ? 0.1 : 0.5;
+        RunResult jord = runSystem(w, SystemKind::Jord, load);
+        RunResult ntc = runSystem(w, SystemKind::NightCore, load);
+        EXPECT_GT(ntc.latencyUs.mean(), jord.latencyUs.mean())
+            << w.name;
+    }
+}
+
+TEST(Integration, BtreeSlowerThanPlainListButFunctional)
+{
+    workloads::Workload w = workloads::makeHotel();
+    RunResult jord = runSystem(w, SystemKind::Jord, 2.0);
+    RunResult bt = runSystem(w, SystemKind::JordBT, 2.0);
+    EXPECT_EQ(bt.completedRequests, jord.completedRequests);
+    EXPECT_GT(bt.serviceUs.mean(), jord.serviceUs.mean());
+}
+
+TEST(Integration, P99DominatesP50)
+{
+    workloads::Workload w = workloads::makeHipster();
+    RunResult res = runSystem(w, SystemKind::Jord, 4.0);
+    EXPECT_GE(res.latencyUs.p99(), res.latencyUs.p50());
+    EXPECT_GE(res.serviceUs.p99(), res.serviceUs.p50());
+}
+
+TEST(Integration, InvocationConservationAcrossSystems)
+{
+    workloads::Workload w = workloads::makeHipster();
+    for (SystemKind system :
+         {SystemKind::Jord, SystemKind::JordNI, SystemKind::JordBT,
+          SystemKind::NightCore}) {
+        RunResult res = runSystem(w, system, 1.0, 2000);
+        EXPECT_EQ(res.completedRequests, 1600u)
+            << systemName(system);
+        // Entry mix averages ~2.85 children per request.
+        double fan = static_cast<double>(res.invocations) /
+                     static_cast<double>(res.completedRequests);
+        EXPECT_NEAR(fan, 3.85, 0.35) << systemName(system);
+    }
+}
+
+TEST(Integration, IsolationOverheadIsSmallShareForJord)
+{
+    // §6.2: dispatch + isolation is ~11% of service time on average
+    // (more for Media).
+    workloads::Workload w = workloads::makeHotel();
+    RunResult res = runSystem(w, SystemKind::Jord, 2.0, 6000);
+    double service = res.serviceUs.mean();
+    double overhead_us =
+        sim::cyclesToUs(res.totals.isolation + res.totals.dispatch,
+                        4.0) /
+        static_cast<double>(res.invocations);
+    double share = overhead_us / service;
+    EXPECT_GT(share, 0.03);
+    EXPECT_LT(share, 0.30);
+}
+
+TEST(Integration, NoPdOrVmaLeaksAcrossRun)
+{
+    workloads::Workload w = workloads::makeHipster();
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, w.registry);
+    unsigned pds_before = worker.privlib().numLivePds();
+    worker.run(2.0, 3000, w.mix);
+    // Every invocation's PD must have been cput back.
+    EXPECT_EQ(worker.privlib().numLivePds(), pds_before);
+}
+
+TEST(Integration, VmaTablePopulationReturnsToBaseline)
+{
+    workloads::Workload w = workloads::makeHotel();
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, w.registry);
+    worker.run(1.0, 2000, w.mix);
+    // All ArgBuf/stack VMAs freed: only static VMAs remain (PrivLib
+    // code + data, runtime code, one code VMA per function).
+    std::uint64_t expected = 2 + 1 + worker.registry().size();
+    EXPECT_EQ(worker.uat().table().numValid(), expected);
+}
+
+TEST(Integration, MediaIsolationGapLargerThanHotel)
+{
+    // The 12-way fan-out makes Media the isolation-heavy outlier.
+    workloads::Workload hotel = workloads::makeHotel();
+    workloads::Workload media = workloads::makeMedia();
+    RunResult hotel_res = runSystem(hotel, SystemKind::Jord, 2.0);
+    RunResult media_res = runSystem(media, SystemKind::Jord, 1.0);
+    auto iso_share = [](const RunResult &res) {
+        return static_cast<double>(res.totals.isolation) /
+               static_cast<double>(res.totals.exec);
+    };
+    EXPECT_GT(iso_share(media_res), 1.5 * iso_share(hotel_res));
+}
+
+TEST(Integration, FpgaProfileSlowsPrivlibOps)
+{
+    workloads::Workload w = workloads::makeHotel();
+    WorkerConfig cfg;
+    cfg.machine.profile = sim::MachineProfile::Fpga;
+    cfg.machine.numCores = 32; // keep the full worker shape
+    WorkerServer fpga(cfg, w.registry);
+    RunResult fpga_res = fpga.run(1.0, 2000, w.mix);
+    RunResult sim_res = runSystem(w, SystemKind::Jord, 1.0, 2000);
+    double fpga_iso = static_cast<double>(fpga_res.totals.isolation) /
+                      static_cast<double>(fpga_res.invocations);
+    double sim_iso = static_cast<double>(sim_res.totals.isolation) /
+                     static_cast<double>(sim_res.invocations);
+    EXPECT_GT(fpga_iso, 1.3 * sim_iso);
+}
+
+TEST(Integration, PhysicalMemoryRecyclesAfterWarmup)
+{
+    // Chunks recycle through the free lists: a second identical run on
+    // the same worker should need (almost) no further uat_config
+    // refills from the kernel.
+    workloads::Workload w = workloads::makeHipster();
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, w.registry);
+    worker.run(2.0, 2000, w.mix);
+    std::uint64_t after_first = worker.kernel().numSyscalls();
+    worker.run(2.0, 2000, w.mix);
+    std::uint64_t after_second = worker.kernel().numSyscalls();
+    EXPECT_LE(after_second - after_first, after_first / 4 + 2);
+}
+
+} // namespace

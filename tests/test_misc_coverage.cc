@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Coverage for edges the focused suites skip: the FPGA machine profile,
+ * the VTE offset-encoding property, dispatch-scan scaling, multi-PD
+ * cexit independence across cores, and walker behaviour under L1
+ * capacity pressure.
+ */
+
+#include "tests/fixture.hh"
+
+#include "runtime/worker.hh"
+#include "sim/rng.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using jord::sim::Addr;
+using jord::sim::Rng;
+using jord::test::JordStackTest;
+using jord::uat::PdId;
+using jord::uat::Perm;
+using jord::uat::Vte;
+
+// --- VTE offset property -------------------------------------------------------
+
+TEST(VteProperty, OffsRoundTripsAcrossAttrChurn)
+{
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        Vte vte;
+        // Signed offsets up to +/- 2^50.
+        std::int64_t offs = static_cast<std::int64_t>(rng.next() %
+                                                      (1ull << 50)) -
+                            (1ll << 49);
+        vte.setOffs(offs);
+        vte.setAttr(rng.chance(0.5), rng.chance(0.5), rng.chance(0.5),
+                    Perm(static_cast<std::uint8_t>(rng.next() & 7)));
+        ASSERT_EQ(vte.offs(), offs) << "iteration " << i;
+    }
+}
+
+// --- Time conversions ------------------------------------------------------------
+
+TEST(Types, CycleTimeConversionsRoundTrip)
+{
+    using namespace jord::sim;
+    EXPECT_EQ(nsToCycles(100.0), 400u); // 4 GHz
+    EXPECT_DOUBLE_EQ(cyclesToNs(400), 100.0);
+    EXPECT_DOUBLE_EQ(cyclesToUs(4000), 1.0);
+    EXPECT_EQ(usToCycles(1.0), 4000u);
+    EXPECT_EQ(blockAlign(0x12345), 0x12340u);
+}
+
+// --- FPGA profile stack -------------------------------------------------------------
+
+class FpgaStackTest : public JordStackTest
+{
+  protected:
+    FpgaStackTest()
+    {
+        // Tear the default stack down in dependency order, then
+        // rebuild it on the FPGA profile.
+        privlib.reset();
+        uat.reset();
+        kernel.reset();
+        table.reset();
+        coherence.reset();
+        mesh.reset();
+        cfg = jord::sim::MachineConfig::isca25Default();
+        cfg.profile = jord::sim::MachineProfile::Fpga;
+        mesh = std::make_unique<jord::noc::Mesh>(cfg);
+        coherence =
+            std::make_unique<jord::mem::CoherenceEngine>(cfg, *mesh);
+        jord::uat::VaEncoding encoding;
+        table = std::make_unique<jord::uat::PlainListVmaTable>(encoding);
+        uat = std::make_unique<jord::uat::UatSystem>(cfg, *coherence,
+                                                     *table);
+        kernel = std::make_unique<jord::os::Kernel>(cfg);
+        privlib = std::make_unique<jord::privlib::PrivLib>(
+            cfg, *coherence, *uat, *table, *kernel);
+    }
+};
+
+TEST_F(FpgaStackTest, SoftwareOpsSlowerHardwareIdentical)
+{
+    // Warm mmap on the FPGA profile must exceed the default profile's
+    // while the pure-hardware VTW walk stays identical (§6.2).
+    for (int i = 0; i < 40; ++i) {
+        auto m = privlib->mmap(0, 4096, Perm::rw());
+        privlib->munmap(0, m.value, 4096);
+    }
+    auto fpga_mmap = privlib->mmap(0, 4096, Perm::rw());
+    EXPECT_GT(jord::sim::cyclesToNs(fpga_mmap.latency, cfg.freqGhz),
+              25.0);
+
+    // Hardware path: VLB-miss walk with warm L1 is still ~2 ns.
+    coherence->read(0, table->vteAddrOf(fpga_mmap.value), true);
+    uat->dvlb(0).invalidateVte(table->vteAddrOf(fpga_mmap.value));
+    auto acc = uat->dataAccess(0, fpga_mmap.value, Perm::r());
+    EXPECT_LE(jord::sim::cyclesToNs(acc.latency, cfg.freqGhz), 3.0);
+}
+
+// --- Multi-core domain independence ----------------------------------------------
+
+class MultiCoreDomains : public JordStackTest
+{
+};
+
+TEST_F(MultiCoreDomains, DomainStacksArePerCore)
+{
+    PdId a = mustCget(0);
+    PdId b = mustCget(1);
+    ASSERT_TRUE(privlib->ccall(0, a).ok);
+    ASSERT_TRUE(privlib->ccall(1, b).ok);
+    EXPECT_EQ(privlib->currentPd(0), a);
+    EXPECT_EQ(privlib->currentPd(1), b);
+    // Exiting on core 1 must not disturb core 0.
+    ASSERT_TRUE(privlib->cexit(1).ok);
+    EXPECT_EQ(privlib->currentPd(0), a);
+    EXPECT_EQ(privlib->currentPd(1),
+              jord::privlib::PrivLib::kRootPd);
+    ASSERT_TRUE(privlib->cexit(0).ok);
+}
+
+TEST_F(MultiCoreDomains, NestedDomainsUnwindInOrder)
+{
+    PdId outer = mustCget(0);
+    ASSERT_TRUE(privlib->ccall(0, outer).ok);
+    // The outer function creates and enters its own child domain.
+    jord::privlib::PrivResult child = privlib->cget(0);
+    ASSERT_TRUE(child.ok);
+    ASSERT_TRUE(privlib->ccall(0, static_cast<PdId>(child.value)).ok);
+    EXPECT_EQ(privlib->domainDepth(0), 2u);
+    ASSERT_TRUE(privlib->cexit(0).ok);
+    EXPECT_EQ(privlib->currentPd(0), outer);
+    ASSERT_TRUE(privlib->cexit(0).ok);
+    EXPECT_EQ(privlib->domainDepth(0), 0u);
+}
+
+// --- Walker under L1 pressure --------------------------------------------------------
+
+TEST_F(MultiCoreDomains, WalkStillCorrectAfterCacheEviction)
+{
+    PdId pd = mustCget(0);
+    Addr vma = mustMmapFor(0, pd, 4096, Perm::rw());
+    uat->csrFile(0).ucid = pd;
+    ASSERT_TRUE(uat->dataAccess(0, vma, Perm::r()).ok());
+
+    // Blow the L1 and the VLB; the next access must re-walk through
+    // the LLC and still enforce the same permissions.
+    for (unsigned i = 0; i < cfg.l1Lines + 8; ++i)
+        coherence->read(0, 0x7000'0000ull + i * 64);
+    uat->dvlb(0).invalidateAll();
+
+    auto ok = uat->dataAccess(0, vma, Perm::rw());
+    EXPECT_TRUE(ok.ok());
+    EXPECT_GT(jord::sim::cyclesToNs(ok.latency, cfg.freqGhz), 2.0);
+    uat->csrFile(0).ucid = 99; // no such domain
+    uat->dvlb(0).invalidateAll();
+    EXPECT_FALSE(uat->dataAccess(0, vma, Perm::r()).ok());
+    uat->csrFile(0).ucid = 0;
+}
+
+// --- Dispatch scan scaling -----------------------------------------------------------
+
+TEST(DispatchScan, GrowsWithMachineAndSockets)
+{
+    using namespace jord;
+    workloads::Workload w = workloads::makeHipster();
+
+    auto scan_ns = [&](unsigned cores, unsigned sockets) {
+        runtime::WorkerConfig cfg;
+        cfg.machine = sim::MachineConfig::scaled(cores, sockets);
+        cfg.numOrchestrators = 1;
+        cfg.perSocketOrchestrators = false;
+        runtime::WorkerServer worker(cfg, w.registry);
+        return worker.measureDispatchScanNs();
+    };
+
+    double small = scan_ns(16, 1);
+    double large = scan_ns(256, 1);
+    double dual = scan_ns(256, 2);
+    EXPECT_LT(small, large);
+    // Crossing the socket boundary dominates everything else (§6.3).
+    EXPECT_GT(dual, 5 * large);
+    EXPECT_GT(dual, 2000.0); // microsecond scale
+}
+
+// --- Breakdown arithmetic ---------------------------------------------------------------
+
+TEST(Breakdown, TotalAndAccumulate)
+{
+    jord::runtime::Breakdown a;
+    a.exec = 10;
+    a.isolation = 5;
+    jord::runtime::Breakdown b;
+    b.exec = 1;
+    b.pipe = 2;
+    b.queue = 3;
+    a += b;
+    EXPECT_EQ(a.exec, 11u);
+    EXPECT_EQ(a.total(), 11u + 5 + 2 + 3);
+}
+
+} // namespace

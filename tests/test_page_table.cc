@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Tests for the conventional 4-level radix page table, including a
+ * randomized property test against a reference map model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "sim/rng.hh"
+#include "vm/page_table.hh"
+
+namespace {
+
+using jord::sim::Addr;
+using jord::sim::Rng;
+using jord::vm::kNumLevels;
+using jord::vm::kPageBytes;
+using jord::vm::PagePerms;
+using jord::vm::PageTable;
+
+constexpr Addr kVa = 0x7f00'0000'0000ull;
+constexpr Addr kPa = 0x0100'0000'0000ull;
+
+TEST(PageTable, MapAndTranslate)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(kVa, kPa, kPageBytes, PagePerms::rw()));
+    auto t = pt.translate(kVa);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->pa, kPa);
+    EXPECT_TRUE(t->perms.write);
+    EXPECT_FALSE(t->perms.exec);
+}
+
+TEST(PageTable, TranslatePreservesPageOffset)
+{
+    PageTable pt;
+    pt.map(kVa, kPa, kPageBytes, PagePerms::rw());
+    auto t = pt.translate(kVa + 0x123);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->pa, kPa + 0x123);
+}
+
+TEST(PageTable, UnmappedFaults)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.translate(kVa).has_value());
+}
+
+TEST(PageTable, MultiPageRange)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(kVa, kPa, 10 * kPageBytes, PagePerms::ro()));
+    EXPECT_EQ(pt.numMappedPages(), 10u);
+    for (unsigned i = 0; i < 10; ++i) {
+        auto t = pt.translate(kVa + i * kPageBytes);
+        ASSERT_TRUE(t.has_value());
+        EXPECT_EQ(t->pa, kPa + i * kPageBytes);
+    }
+    EXPECT_FALSE(pt.translate(kVa + 10 * kPageBytes).has_value());
+}
+
+TEST(PageTable, DoubleMapIsRejectedAtomically)
+{
+    PageTable pt;
+    ASSERT_TRUE(pt.map(kVa + 2 * kPageBytes, kPa, kPageBytes,
+                       PagePerms::rw()));
+    // Overlapping range: nothing should change.
+    EXPECT_FALSE(pt.map(kVa, kPa + 0x10000, 4 * kPageBytes,
+                        PagePerms::rw()));
+    EXPECT_EQ(pt.numMappedPages(), 1u);
+    EXPECT_FALSE(pt.translate(kVa).has_value());
+}
+
+TEST(PageTable, UnalignedMapRejected)
+{
+    PageTable pt;
+    EXPECT_FALSE(pt.map(kVa + 1, kPa, kPageBytes, PagePerms::rw()));
+    EXPECT_FALSE(pt.map(kVa, kPa + 7, kPageBytes, PagePerms::rw()));
+}
+
+TEST(PageTable, UnmapRemovesOnlyRange)
+{
+    PageTable pt;
+    pt.map(kVa, kPa, 4 * kPageBytes, PagePerms::rw());
+    EXPECT_EQ(pt.unmap(kVa + kPageBytes, 2 * kPageBytes), 2u);
+    EXPECT_TRUE(pt.translate(kVa).has_value());
+    EXPECT_FALSE(pt.translate(kVa + kPageBytes).has_value());
+    EXPECT_FALSE(pt.translate(kVa + 2 * kPageBytes).has_value());
+    EXPECT_TRUE(pt.translate(kVa + 3 * kPageBytes).has_value());
+}
+
+TEST(PageTable, ProtectUpdatesPermissions)
+{
+    PageTable pt;
+    pt.map(kVa, kPa, 2 * kPageBytes, PagePerms::rw());
+    EXPECT_EQ(pt.protect(kVa, 2 * kPageBytes, PagePerms::ro()), 2u);
+    auto t = pt.translate(kVa);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_FALSE(t->perms.write);
+    EXPECT_TRUE(t->perms.read);
+}
+
+TEST(PageTable, WalkPathHasFourLevelsWhenMapped)
+{
+    PageTable pt;
+    pt.map(kVa, kPa, kPageBytes, PagePerms::rw());
+    auto path = pt.walkPath(kVa);
+    EXPECT_EQ(path.size(), kNumLevels);
+    // PTE addresses must be distinct (different nodes).
+    for (std::size_t i = 1; i < path.size(); ++i)
+        EXPECT_NE(path[i], path[i - 1]);
+}
+
+TEST(PageTable, WalkPathAbortsEarlyWhenUnmapped)
+{
+    PageTable pt;
+    auto path = pt.walkPath(kVa);
+    EXPECT_EQ(path.size(), 1u); // root entry is invalid
+}
+
+TEST(PageTable, AdjacentVasShareUpperLevels)
+{
+    PageTable pt;
+    pt.map(kVa, kPa, kPageBytes, PagePerms::rw());
+    pt.map(kVa + kPageBytes, kPa + kPageBytes, kPageBytes,
+           PagePerms::rw());
+    auto a = pt.walkPath(kVa);
+    auto b = pt.walkPath(kVa + kPageBytes);
+    // Same leaf node, different PTE slot.
+    EXPECT_EQ(a[2], b[2]);
+    EXPECT_NE(a[3], b[3]);
+}
+
+TEST(PageTable, NodeCountGrowsWithSpread)
+{
+    PageTable pt;
+    auto before = pt.numNodes();
+    pt.map(kVa, kPa, kPageBytes, PagePerms::rw());
+    // A VA far away needs its own interior nodes.
+    pt.map(0x0000'1000'0000ull, kPa + 0x100000, kPageBytes,
+           PagePerms::rw());
+    EXPECT_GT(pt.numNodes(), before + 3);
+}
+
+TEST(PageTable, PermsCovers)
+{
+    EXPECT_TRUE(PagePerms::rw().covers(PagePerms::ro()));
+    EXPECT_FALSE(PagePerms::ro().covers(PagePerms::rw()));
+    EXPECT_TRUE(PagePerms::rx().covers({false, false, true}));
+    EXPECT_TRUE(PagePerms::rw().covers(PagePerms::none()));
+}
+
+/** Property test: random map/unmap/protect vs a std::map reference. */
+TEST(PageTableProperty, MatchesReferenceModel)
+{
+    PageTable pt;
+    std::map<Addr, std::pair<Addr, PagePerms>> ref;
+    Rng rng(101);
+    Addr next_pa = kPa;
+
+    for (int step = 0; step < 3000; ++step) {
+        Addr page = kVa + rng.uniformInt(std::uint64_t(256)) * kPageBytes;
+        double action = rng.uniform();
+        if (action < 0.45) {
+            bool expect_ok = !ref.count(page);
+            bool ok = pt.map(page, next_pa, kPageBytes,
+                             PagePerms::rw());
+            EXPECT_EQ(ok, expect_ok);
+            if (ok) {
+                ref[page] = {next_pa, PagePerms::rw()};
+                next_pa += kPageBytes;
+            }
+        } else if (action < 0.75) {
+            auto removed = pt.unmap(page, kPageBytes);
+            EXPECT_EQ(removed, ref.erase(page));
+        } else {
+            PagePerms perms = rng.chance(0.5) ? PagePerms::ro()
+                                              : PagePerms::rw();
+            auto updated = pt.protect(page, kPageBytes, perms);
+            if (ref.count(page)) {
+                EXPECT_EQ(updated, 1u);
+                ref[page].second = perms;
+            } else {
+                EXPECT_EQ(updated, 0u);
+            }
+        }
+    }
+
+    EXPECT_EQ(pt.numMappedPages(), ref.size());
+    for (Addr page = kVa; page < kVa + 256 * kPageBytes;
+         page += kPageBytes) {
+        auto t = pt.translate(page);
+        auto it = ref.find(page);
+        ASSERT_EQ(t.has_value(), it != ref.end()) << std::hex << page;
+        if (t) {
+            EXPECT_EQ(t->pa, it->second.first);
+            EXPECT_EQ(t->perms, it->second.second);
+        }
+    }
+}
+
+} // namespace

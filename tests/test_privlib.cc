@@ -1,0 +1,426 @@
+/**
+ * @file
+ * Tests for PrivLib: the Table 1 API semantics, resource management
+ * (free lists, magazines, kernel refills), policy checks, and the
+ * Jord_NI bypass mode.
+ */
+
+#include "tests/fixture.hh"
+
+namespace {
+
+using jord::privlib::PrivLib;
+using jord::privlib::PrivOp;
+using jord::privlib::PrivResult;
+using jord::sim::Addr;
+using jord::test::JordStackTest;
+using jord::uat::Fault;
+using jord::uat::PdId;
+using jord::uat::Perm;
+
+class PrivLibTest : public JordStackTest
+{
+  protected:
+    /** Run @p fn with the core's ucid set to @p pd. */
+    template <typename Fn>
+    auto
+    as(unsigned core, PdId pd, Fn &&fn)
+    {
+        PdId saved = uat->csrFile(core).ucid;
+        uat->csrFile(core).ucid = pd;
+        auto res = fn();
+        uat->csrFile(core).ucid = saved;
+        return res;
+    }
+};
+
+// --- mmap / munmap -----------------------------------------------------------
+
+TEST_F(PrivLibTest, MmapReturnsUatVaWithRequestedBound)
+{
+    PrivResult res = privlib->mmap(0, 1000, Perm::rw());
+    ASSERT_TRUE(res.ok);
+    EXPECT_TRUE(jord::uat::VaEncoding::inUatRegion(res.value));
+    const jord::uat::Vte *vte = table->vteFor(res.value);
+    ASSERT_NE(vte, nullptr);
+    EXPECT_EQ(vte->bound, 1000u);
+    EXPECT_TRUE(vte->valid());
+}
+
+TEST_F(PrivLibTest, MmapPicksSmallestCoveringClass)
+{
+    PrivResult small = privlib->mmap(0, 100, Perm::rw());
+    PrivResult big = privlib->mmap(0, 100000, Perm::rw());
+    jord::uat::VaEncoding enc;
+    EXPECT_EQ(enc.decode(small.value)->sizeClass, 0u);
+    EXPECT_EQ(enc.decode(big.value)->sizeClass, 10u); // 128 KB
+}
+
+TEST_F(PrivLibTest, MmapZeroOrHugeRejected)
+{
+    EXPECT_FALSE(privlib->mmap(0, 0, Perm::rw()).ok);
+    EXPECT_FALSE(privlib->mmap(0, 8ull << 30, Perm::rw()).ok);
+}
+
+TEST_F(PrivLibTest, DistinctVmasGetDistinctChunks)
+{
+    PrivResult a = privlib->mmap(0, 4096, Perm::rw());
+    PrivResult b = privlib->mmap(0, 4096, Perm::rw());
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_NE(a.value, b.value);
+    // Physical chunks must not alias either.
+    auto pa = uat->dataAccess(0, a.value, Perm::r());
+    auto pb = uat->dataAccess(0, b.value, Perm::r());
+    EXPECT_NE(pa.pa, pb.pa);
+}
+
+TEST_F(PrivLibTest, MunmapRecyclesVaAndPhys)
+{
+    PrivResult a = privlib->mmap(0, 4096, Perm::rw());
+    ASSERT_TRUE(privlib->munmap(0, a.value, 4096).ok);
+    PrivResult b = privlib->mmap(0, 4096, Perm::rw());
+    // LIFO magazine: the same VA index comes right back.
+    EXPECT_EQ(b.value, a.value);
+}
+
+TEST_F(PrivLibTest, MunmapRequiresExactBound)
+{
+    PrivResult a = privlib->mmap(0, 4096, Perm::rw());
+    EXPECT_FALSE(privlib->munmap(0, a.value, 2048).ok);
+    EXPECT_TRUE(privlib->munmap(0, a.value, 4096).ok);
+}
+
+TEST_F(PrivLibTest, MunmapByNonBaseAddressRejected)
+{
+    PrivResult a = privlib->mmap(0, 4096, Perm::rw());
+    PrivResult res = privlib->munmap(0, a.value + 64, 4096);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, Fault::NotMapped);
+}
+
+TEST_F(PrivLibTest, DoubleMunmapFails)
+{
+    PrivResult a = privlib->mmap(0, 4096, Perm::rw());
+    EXPECT_TRUE(privlib->munmap(0, a.value, 4096).ok);
+    EXPECT_FALSE(privlib->munmap(0, a.value, 4096).ok);
+}
+
+TEST_F(PrivLibTest, SubPageVmasShareNoBytes)
+{
+    // Two 128-byte VMAs may live in one physical page but must get
+    // non-overlapping chunks (§4.1).
+    PrivResult a = privlib->mmap(0, 128, Perm::rw());
+    PrivResult b = privlib->mmap(0, 128, Perm::rw());
+    auto pa = uat->dataAccess(0, a.value, Perm::r()).pa;
+    auto pb = uat->dataAccess(0, b.value, Perm::r()).pa;
+    EXPECT_GE(pb > pa ? pb - pa : pa - pb, 128u);
+}
+
+// --- mprotect ------------------------------------------------------------------
+
+TEST_F(PrivLibTest, MprotectChangesPermission)
+{
+    PdId pd = mustCget(0);
+    Addr vma = mustMmapFor(0, pd, 4096, Perm::rw());
+    PrivResult res = as(0, pd, [&] {
+        return privlib->mprotect(0, vma, 4096, Perm::r());
+    });
+    ASSERT_TRUE(res.ok);
+    uat->csrFile(0).ucid = pd;
+    EXPECT_TRUE(uat->dataAccess(0, vma, Perm::r()).ok());
+    EXPECT_EQ(uat->dataAccess(0, vma, Perm(Perm::W)).fault,
+              Fault::NoPermission);
+    uat->csrFile(0).ucid = 0;
+}
+
+TEST_F(PrivLibTest, MprotectResizesWithinChunk)
+{
+    PrivResult a = privlib->mmap(0, 1024, Perm::rw());
+    // Grow into the reserved trailing part of the 1 KB chunk... the
+    // chunk is exactly 1 KB, so growing beyond it must fail.
+    EXPECT_FALSE(privlib->mprotect(0, a.value, 2048, Perm::rw()).ok);
+    EXPECT_TRUE(privlib->mprotect(0, a.value, 512, Perm::rw()).ok);
+    EXPECT_EQ(table->vteFor(a.value)->bound, 512u);
+}
+
+TEST_F(PrivLibTest, MprotectUnmappedFails)
+{
+    jord::uat::VaEncoding enc;
+    EXPECT_FALSE(
+        privlib->mprotect(0, enc.encode(3, 77), 128, Perm::r()).ok);
+}
+
+// --- pmove / pcopy ----------------------------------------------------------------
+
+TEST_F(PrivLibTest, PmoveTransfersOwnership)
+{
+    PdId a = mustCget(0);
+    PdId b = mustCget(0);
+    Addr vma = mustMmapFor(0, a, 4096, Perm::rw());
+
+    PrivResult res = as(0, a, [&] {
+        return privlib->pmove(0, vma, b, Perm::rw());
+    });
+    ASSERT_TRUE(res.ok);
+
+    uat->csrFile(0).ucid = b;
+    EXPECT_TRUE(uat->dataAccess(0, vma, Perm::rw()).ok());
+    uat->csrFile(0).ucid = a;
+    EXPECT_EQ(uat->dataAccess(0, vma, Perm::r()).fault,
+              Fault::NoPermission);
+    uat->csrFile(0).ucid = 0;
+}
+
+TEST_F(PrivLibTest, PcopyKeepsSourceAccess)
+{
+    PdId a = mustCget(0);
+    PdId b = mustCget(0);
+    Addr vma = mustMmapFor(0, a, 4096, Perm::rw());
+
+    PrivResult res = as(0, a, [&] {
+        return privlib->pcopy(0, vma, b, Perm::r());
+    });
+    ASSERT_TRUE(res.ok);
+
+    uat->csrFile(0).ucid = a;
+    EXPECT_TRUE(uat->dataAccess(0, vma, Perm::rw()).ok());
+    uat->csrFile(0).ucid = b;
+    EXPECT_TRUE(uat->dataAccess(0, vma, Perm::r()).ok());
+    EXPECT_EQ(uat->dataAccess(0, vma, Perm(Perm::W)).fault,
+              Fault::NoPermission);
+    uat->csrFile(0).ucid = 0;
+}
+
+TEST_F(PrivLibTest, DelegationCannotAmplifyRights)
+{
+    PdId a = mustCget(0);
+    PdId b = mustCget(0);
+    Addr vma = mustMmapFor(0, a, 4096, Perm::r());
+    PrivResult res = as(0, a, [&] {
+        return privlib->pcopy(0, vma, b, Perm::rw());
+    });
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, Fault::NoPermission);
+}
+
+TEST_F(PrivLibTest, PmoveToInvalidPdRejected)
+{
+    PdId a = mustCget(0);
+    Addr vma = mustMmapFor(0, a, 4096, Perm::rw());
+    PrivResult res = as(0, a, [&] {
+        return privlib->pmove(0, vma, 999, Perm::rw());
+    });
+    EXPECT_FALSE(res.ok);
+}
+
+TEST_F(PrivLibTest, PmoveBetweenIsRootOnly)
+{
+    PdId a = mustCget(0);
+    PdId b = mustCget(0);
+    Addr vma = mustMmapFor(0, a, 4096, Perm::rw());
+
+    PrivResult from_pd = as(0, a, [&] {
+        return privlib->pmoveBetween(0, vma, a, b, Perm::rw());
+    });
+    EXPECT_FALSE(from_pd.ok);
+
+    PrivResult from_root =
+        privlib->pmoveBetween(0, vma, a, b, Perm::rw());
+    EXPECT_TRUE(from_root.ok);
+}
+
+TEST_F(PrivLibTest, MoreThanTwentySharersSpillToOverflow)
+{
+    Addr vma = mustMmapFor(0, PrivLib::kRootPd, 4096, Perm::rw());
+    std::vector<PdId> pds;
+    for (unsigned i = 0; i < 25; ++i) {
+        PdId pd = mustCget(0);
+        pds.push_back(pd);
+        ASSERT_TRUE(privlib->pcopy(0, vma, pd, Perm::r()).ok)
+            << "sharer " << i;
+    }
+    // Every PD, including the spilled ones, can read.
+    for (PdId pd : pds) {
+        uat->csrFile(0).ucid = pd;
+        uat->dvlb(0).invalidateAll();
+        EXPECT_TRUE(uat->dataAccess(0, vma, Perm::r()).ok());
+    }
+    uat->csrFile(0).ucid = 0;
+    const jord::uat::Vte *vte = table->vteFor(vma);
+    EXPECT_NE(vte->ptr, 0u); // overflow list engaged
+}
+
+// --- PD lifecycle --------------------------------------------------------------
+
+TEST_F(PrivLibTest, CgetCputLifecycle)
+{
+    unsigned before = privlib->numLivePds();
+    PdId pd = mustCget(0);
+    EXPECT_TRUE(privlib->pdValid(pd));
+    EXPECT_EQ(privlib->numLivePds(), before + 1);
+    EXPECT_TRUE(privlib->cput(0, pd).ok);
+    EXPECT_FALSE(privlib->pdValid(pd));
+    EXPECT_EQ(privlib->numLivePds(), before);
+}
+
+TEST_F(PrivLibTest, CputGuardsAgainstLeakedPermissions)
+{
+    PdId pd = mustCget(0);
+    Addr vma = mustMmapFor(0, pd, 4096, Perm::rw());
+    // Destroying a PD that still holds permissions would leak them to
+    // the next owner of the recycled id.
+    EXPECT_FALSE(privlib->cput(0, pd).ok);
+    as(0, pd, [&] { return privlib->munmap(0, vma, 4096); });
+    EXPECT_TRUE(privlib->cput(0, pd).ok);
+}
+
+TEST_F(PrivLibTest, CputPolicyChecks)
+{
+    PdId pd = mustCget(0);
+    EXPECT_FALSE(privlib->cput(0, PrivLib::kRootPd).ok);
+    EXPECT_FALSE(privlib->cput(0, 1234).ok); // invalid
+    // A PD cannot destroy itself.
+    PrivResult self = as(0, pd, [&] { return privlib->cput(0, pd); });
+    EXPECT_FALSE(self.ok);
+}
+
+TEST_F(PrivLibTest, NonCreatorCannotDestroy)
+{
+    PdId a = mustCget(0);
+    PdId b = mustCget(0);
+    PrivResult res = as(0, a, [&] { return privlib->cput(0, b); });
+    EXPECT_FALSE(res.ok); // b was created by root, not by a
+}
+
+TEST_F(PrivLibTest, CcallCexitNesting)
+{
+    PdId pd = mustCget(0);
+    EXPECT_EQ(privlib->currentPd(0), PrivLib::kRootPd);
+    ASSERT_TRUE(privlib->ccall(0, pd).ok);
+    EXPECT_EQ(privlib->currentPd(0), pd);
+    EXPECT_EQ(privlib->domainDepth(0), 1u);
+    ASSERT_TRUE(privlib->cexit(0).ok);
+    EXPECT_EQ(privlib->currentPd(0), PrivLib::kRootPd);
+    EXPECT_EQ(privlib->domainDepth(0), 0u);
+}
+
+TEST_F(PrivLibTest, CexitWithoutCcallFails)
+{
+    EXPECT_FALSE(privlib->cexit(0).ok);
+}
+
+TEST_F(PrivLibTest, CenterResumesSuspendedPd)
+{
+    PdId pd = mustCget(0);
+    privlib->ccall(0, pd);
+    privlib->cexit(0);
+    ASSERT_TRUE(privlib->center(0, pd).ok);
+    EXPECT_EQ(privlib->currentPd(0), pd);
+    privlib->cexit(0);
+}
+
+TEST_F(PrivLibTest, FunctionCanManageItsOwnChildPds)
+{
+    PdId parent = mustCget(0);
+    uat->csrFile(0).ucid = parent;
+    PrivResult child = privlib->cget(0);
+    ASSERT_TRUE(child.ok);
+    PdId child_pd = static_cast<PdId>(child.value);
+    EXPECT_TRUE(privlib->ccall(0, child_pd).ok);
+    EXPECT_TRUE(privlib->cexit(0).ok);
+    EXPECT_TRUE(privlib->cput(0, child_pd).ok);
+    uat->csrFile(0).ucid = 0;
+}
+
+TEST_F(PrivLibTest, ForeignPdCannotBeEntered)
+{
+    PdId a = mustCget(0);
+    PdId b = mustCget(0);
+    PrivResult res = as(0, a, [&] { return privlib->ccall(0, b); });
+    EXPECT_FALSE(res.ok);
+}
+
+TEST_F(PrivLibTest, PdIdsAreRecycled)
+{
+    PdId pd = mustCget(0);
+    privlib->cput(0, pd);
+    PdId again = mustCget(0);
+    EXPECT_EQ(again, pd); // LIFO magazine
+}
+
+// --- Resource pressure ------------------------------------------------------------
+
+TEST_F(PrivLibTest, ManyConcurrentVmas)
+{
+    std::vector<Addr> vmas;
+    for (int i = 0; i < 2000; ++i) {
+        PrivResult res = privlib->mmap(0, 256, Perm::rw());
+        ASSERT_TRUE(res.ok) << "iteration " << i;
+        vmas.push_back(res.value);
+    }
+    for (Addr vma : vmas)
+        ASSERT_TRUE(privlib->munmap(0, vma, 256).ok);
+}
+
+TEST_F(PrivLibTest, KernelRefillHappensTransparently)
+{
+    auto syscalls_before = kernel->numSyscalls();
+    for (int i = 0; i < 200; ++i) {
+        PrivResult res = privlib->mmap(0, 1 << 20, Perm::rw());
+        ASSERT_TRUE(res.ok);
+    }
+    EXPECT_GT(kernel->numSyscalls(), syscalls_before);
+}
+
+TEST_F(PrivLibTest, MagazinesMakeWarmOpsCheap)
+{
+    // Warm up, then verify the warm mmap/munmap pair is far below the
+    // cold path (no syscall, no shared-head bouncing).
+    jord::sim::Cycles warm_mmap = 0;
+    for (int i = 0; i < 50; ++i) {
+        PrivResult m = privlib->mmap(0, 4096, Perm::rw());
+        privlib->munmap(0, m.value, 4096);
+        warm_mmap = m.latency;
+    }
+    EXPECT_LT(jord::sim::cyclesToNs(warm_mmap, cfg.freqGhz), 30.0);
+}
+
+TEST_F(PrivLibTest, OpStatsAccumulate)
+{
+    privlib->resetStats();
+    privlib->mmap(0, 4096, Perm::rw());
+    PdId pd = mustCget(0);
+    privlib->ccall(0, pd);
+    privlib->cexit(0);
+    EXPECT_EQ(privlib->stats(PrivOp::Mmap).count, 1u);
+    EXPECT_EQ(privlib->stats(PrivOp::Cget).count, 1u);
+    EXPECT_EQ(privlib->stats(PrivOp::Ccall).count, 1u);
+    EXPECT_GT(privlib->vmaManagementCycles(), 0u);
+    EXPECT_GT(privlib->pdManagementCycles(), 0u);
+}
+
+// --- Jord_NI bypass ---------------------------------------------------------------
+
+TEST_F(PrivLibTest, BypassMakesVmasGlobal)
+{
+    privlib->setIsolationBypass(true);
+    PrivResult res = privlib->mmap(0, 4096, Perm::rw());
+    ASSERT_TRUE(res.ok);
+    // Any PD can access: no isolation.
+    uat->csrFile(0).ucid = 77;
+    EXPECT_TRUE(uat->dataAccess(0, res.value, Perm::rw()).ok());
+    uat->csrFile(0).ucid = 0;
+    privlib->setIsolationBypass(false);
+}
+
+TEST_F(PrivLibTest, BypassedIsolationOpsAreNearFree)
+{
+    privlib->setIsolationBypass(true);
+    PrivResult res = privlib->mmap(0, 4096, Perm::rw());
+    PrivResult mv = privlib->pmove(0, res.value, 5, Perm::rw());
+    EXPECT_TRUE(mv.ok);
+    EXPECT_LE(mv.latency, 4u);
+    privlib->setIsolationBypass(false);
+}
+
+} // namespace

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Unit and property tests for the RNG and statistics modules.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "stats/histogram.hh"
+#include "stats/sampler.hh"
+#include "stats/table.hh"
+
+namespace {
+
+using jord::sim::Rng;
+using jord::stats::Histogram;
+using jord::stats::Sampler;
+using jord::stats::Table;
+
+// --- Rng ------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    unsigned same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2u);
+}
+
+TEST(Rng, UniformStaysInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.uniformInt(std::uint64_t(17));
+        EXPECT_LT(v, 17u);
+    }
+    for (int i = 0; i < 10000; ++i) {
+        auto v = rng.uniformInt(std::int64_t(-5), std::int64_t(5));
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, ExponentialMeanConverges)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.05);
+}
+
+TEST(Rng, NormalMomentsConverge)
+{
+    Rng rng(13);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double v = rng.normal(10.0, 2.0);
+        sum += v;
+        sq += v * v;
+    }
+    double mean = sum / n;
+    double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.lognormal(0.0, 1.0), 0.0);
+}
+
+TEST(Rng, BoundedParetoStaysInRange)
+{
+    Rng rng(19);
+    for (int i = 0; i < 10000; ++i) {
+        double v = rng.boundedPareto(1.0, 100.0, 1.5);
+        EXPECT_GE(v, 1.0);
+        EXPECT_LE(v, 100.0 + 1e-9);
+    }
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(23);
+    Rng child = a.split();
+    EXPECT_NE(a.next(), child.next());
+}
+
+TEST(Rng, ChanceProbabilityRoughlyCorrect)
+{
+    Rng rng(29);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+// --- Sampler ----------------------------------------------------------------
+
+TEST(Sampler, BasicMoments)
+{
+    Sampler s;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        s.record(v);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Sampler, PercentilesMatchSortedReference)
+{
+    Sampler s;
+    Rng rng(31);
+    std::vector<double> ref;
+    for (int i = 0; i < 5000; ++i) {
+        double v = rng.uniform(0, 1000);
+        s.record(v);
+        ref.push_back(v);
+    }
+    std::sort(ref.begin(), ref.end());
+    for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+        double rank = p / 100.0 * (ref.size() - 1);
+        auto lo = static_cast<std::size_t>(rank);
+        double frac = rank - static_cast<double>(lo);
+        double expect =
+            ref[lo] +
+            frac * (ref[std::min(lo + 1, ref.size() - 1)] - ref[lo]);
+        EXPECT_NEAR(s.percentile(p), expect, 1e-9) << "p=" << p;
+    }
+}
+
+TEST(Sampler, EmptySamplerIsSafe)
+{
+    Sampler s;
+    EXPECT_EQ(s.percentile(99), 0.0);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_TRUE(s.cdf(8).empty());
+}
+
+TEST(Sampler, SingleSample)
+{
+    Sampler s;
+    s.record(42.0);
+    EXPECT_DOUBLE_EQ(s.p50(), 42.0);
+    EXPECT_DOUBLE_EQ(s.p99(), 42.0);
+}
+
+TEST(Sampler, CdfIsMonotone)
+{
+    Sampler s;
+    Rng rng(37);
+    for (int i = 0; i < 2000; ++i)
+        s.record(rng.lognormal(1.0, 0.8));
+    auto cdf = s.cdf(32);
+    ASSERT_EQ(cdf.size(), 32u);
+    for (std::size_t i = 1; i < cdf.size(); ++i) {
+        EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+        EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(Sampler, ReservoirKeepsCountAndApproximatesQuantiles)
+{
+    Sampler s(1000);
+    for (int i = 0; i < 100000; ++i)
+        s.record(i);
+    EXPECT_EQ(s.count(), 100000u);
+    // Uniform 0..100k: the reservoir median should be near 50k.
+    EXPECT_NEAR(s.p50(), 50000.0, 5000.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 99999.0);
+}
+
+TEST(Sampler, MergeCombinesSamples)
+{
+    Sampler a, b;
+    a.record(1.0);
+    b.record(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Sampler, ResetClears)
+{
+    Sampler s;
+    s.record(5.0);
+    s.reset();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.mean(), 0.0);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, ExactForSmallValues)
+{
+    Histogram h;
+    for (std::uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.count(), 32u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 31u);
+    EXPECT_EQ(h.percentile(50), 15u);
+}
+
+TEST(Histogram, BoundedRelativeErrorProperty)
+{
+    Histogram h(1ull << 40, 64);
+    Rng rng(41);
+    std::vector<std::uint64_t> ref;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = static_cast<std::uint64_t>(
+            rng.lognormal(8.0, 2.0));
+        h.record(v);
+        ref.push_back(v);
+    }
+    std::sort(ref.begin(), ref.end());
+    for (double p : {50.0, 90.0, 99.0}) {
+        auto idx = static_cast<std::size_t>(
+            p / 100.0 * (ref.size() - 1));
+        double exact = static_cast<double>(ref[idx]);
+        double approx = static_cast<double>(h.percentile(p));
+        EXPECT_NEAR(approx, exact, exact * 0.05 + 2.0) << "p=" << p;
+    }
+}
+
+TEST(Histogram, MergeAddsCounts)
+{
+    Histogram a, b;
+    a.record(10);
+    b.record(20);
+    b.record(30);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_EQ(a.max(), 30u);
+}
+
+TEST(Histogram, WeightedRecord)
+{
+    Histogram h;
+    h.recordN(5, 100);
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_EQ(h.percentile(99), 5u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, RenderProducesOutput)
+{
+    Histogram h;
+    for (int i = 1; i < 1000; ++i)
+        h.record(static_cast<std::uint64_t>(i));
+    std::string out = h.render(8);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+// --- Table -------------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer-name", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CellFormatting)
+{
+    EXPECT_EQ(Table::cell(3.14159, "%.2f"), "3.14");
+    EXPECT_EQ(Table::cell(std::uint64_t(42)), "42");
+}
+
+TEST(TableDeathTest, WrongArityPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "cells");
+}
+
+} // namespace

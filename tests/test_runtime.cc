@@ -1,0 +1,318 @@
+/**
+ * @file
+ * Tests for the FaaS runtime: registry, worker assembly, JBSQ dispatch,
+ * nested-invocation deadlock freedom (§3.3), accounting invariants, and
+ * run determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/worker.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace jord;
+using runtime::CallSpec;
+using runtime::EntryMix;
+using runtime::FunctionRegistry;
+using runtime::FunctionSpec;
+using runtime::RunResult;
+using runtime::SystemKind;
+using runtime::WorkerConfig;
+using runtime::WorkerServer;
+
+FunctionSpec
+makeSpec(const char *name, double exec_us,
+         std::vector<CallSpec> calls = {})
+{
+    FunctionSpec spec;
+    spec.name = name;
+    spec.execMeanUs = exec_us;
+    spec.execCv = 0.1;
+    spec.calls = std::move(calls);
+    return spec;
+}
+
+// --- Registry ---------------------------------------------------------------
+
+TEST(FunctionRegistry, AssignsDenseIds)
+{
+    FunctionRegistry reg;
+    auto a = reg.add(makeSpec("a", 1));
+    auto b = reg.add(makeSpec("b", 1));
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(reg.at(a).spec.name, "a");
+    EXPECT_EQ(reg.findByName("b").value(), b);
+    EXPECT_FALSE(reg.findByName("zz").has_value());
+}
+
+TEST(FunctionRegistry, DeployCreatesDistinctCodeVmas)
+{
+    FunctionRegistry reg;
+    reg.add(makeSpec("a", 1));
+    reg.add(makeSpec("b", 1));
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    auto &deployed = worker.registry();
+    EXPECT_NE(deployed.at(0).codeVma, 0u);
+    EXPECT_NE(deployed.at(1).codeVma, 0u);
+    EXPECT_NE(deployed.at(0).codeVma, deployed.at(1).codeVma);
+}
+
+// --- Basic runs ---------------------------------------------------------------
+
+class RuntimeTest : public ::testing::Test
+{
+  protected:
+    FunctionRegistry reg;
+    runtime::FunctionId leafFn = 0;
+    runtime::FunctionId parentFn = 0;
+    runtime::FunctionId syncFn = 0;
+
+    void
+    SetUp() override
+    {
+        leafFn = reg.add(makeSpec("leaf", 0.5));
+        parentFn = reg.add(makeSpec(
+            "parent", 1.0,
+            {CallSpec{leafFn, 512, false}, CallSpec{leafFn, 512, false}}));
+        syncFn = reg.add(makeSpec("syncer", 1.0,
+                                  {CallSpec{leafFn, 512, true}}));
+    }
+};
+
+TEST_F(RuntimeTest, LeafOnlyRunCompletes)
+{
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(0.5, 1000, {{leafFn, 1.0}});
+    EXPECT_EQ(res.completedRequests, 800u); // post-warmup
+    EXPECT_EQ(res.invocations, 800u);
+    EXPECT_GT(res.latencyUs.mean(), 0.4);
+}
+
+TEST_F(RuntimeTest, NestedInvocationConservation)
+{
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(0.5, 1000, {{parentFn, 1.0}});
+    // Each measured request yields 1 parent + 2 children invocations.
+    EXPECT_EQ(res.invocations, 3 * res.completedRequests);
+    EXPECT_EQ(res.perFunctionCount[leafFn],
+              2 * res.completedRequests);
+}
+
+TEST_F(RuntimeTest, SyncCallWaitsForChild)
+{
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(0.1, 500, {{syncFn, 1.0}});
+    // Parent service time must include the child's (~0.5 us) on top of
+    // its own ~1 us execution.
+    EXPECT_GT(res.perFunctionServiceUs[syncFn].mean(), 1.4);
+}
+
+TEST_F(RuntimeTest, LatencyIncludesQueueingUnderLoad)
+{
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult light = worker.run(0.2, 2000, {{parentFn, 1.0}});
+    WorkerServer worker2(cfg, reg);
+    RunResult heavy = worker2.run(9.0, 2000, {{parentFn, 1.0}});
+    EXPECT_GT(heavy.latencyUs.p99(), light.latencyUs.p99());
+}
+
+TEST_F(RuntimeTest, DeterministicForSameSeed)
+{
+    WorkerConfig cfg;
+    cfg.seed = 777;
+    WorkerServer a(cfg, reg);
+    WorkerServer b(cfg, reg);
+    RunResult ra = a.run(1.0, 1500, {{parentFn, 1.0}});
+    RunResult rb = b.run(1.0, 1500, {{parentFn, 1.0}});
+    EXPECT_DOUBLE_EQ(ra.latencyUs.mean(), rb.latencyUs.mean());
+    EXPECT_DOUBLE_EQ(ra.latencyUs.p99(), rb.latencyUs.p99());
+    EXPECT_EQ(ra.invocations, rb.invocations);
+}
+
+TEST_F(RuntimeTest, DifferentSeedsDiffer)
+{
+    WorkerConfig cfg;
+    cfg.seed = 1;
+    WorkerServer a(cfg, reg);
+    cfg.seed = 2;
+    WorkerServer b(cfg, reg);
+    RunResult ra = a.run(1.0, 1500, {{parentFn, 1.0}});
+    RunResult rb = b.run(1.0, 1500, {{parentFn, 1.0}});
+    EXPECT_NE(ra.latencyUs.mean(), rb.latencyUs.mean());
+}
+
+TEST_F(RuntimeTest, BreakdownCoversServiceTime)
+{
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(1.0, 1500, {{parentFn, 1.0}});
+    const runtime::Breakdown &bd = res.totals;
+    EXPECT_GT(bd.exec, 0u);
+    EXPECT_GT(bd.isolation, 0u);
+    EXPECT_GT(bd.comm, 0u);
+    EXPECT_EQ(bd.pipe, 0u); // not NightCore
+    // Execution dominates at low load for this workload.
+    EXPECT_GT(bd.exec, bd.isolation);
+}
+
+TEST_F(RuntimeTest, NightCorePipesReplaceIsolation)
+{
+    WorkerConfig cfg;
+    cfg.system = SystemKind::NightCore;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(0.5, 1000, {{parentFn, 1.0}});
+    EXPECT_GT(res.totals.pipe, 0u);
+    EXPECT_EQ(res.totals.isolation, 0u);
+    EXPECT_EQ(res.totals.comm, 0u);
+}
+
+TEST_F(RuntimeTest, JordNiCheaperThanJordPerInvocation)
+{
+    WorkerConfig cfg;
+    WorkerServer jord_worker(cfg, reg);
+    RunResult jord = jord_worker.run(1.0, 3000, {{parentFn, 1.0}});
+    cfg.system = SystemKind::JordNI;
+    WorkerServer ni_worker(cfg, reg);
+    RunResult ni = ni_worker.run(1.0, 3000, {{parentFn, 1.0}});
+    double jord_iso = static_cast<double>(jord.totals.isolation) /
+                      static_cast<double>(jord.invocations);
+    double ni_iso = static_cast<double>(ni.totals.isolation) /
+                    static_cast<double>(ni.invocations);
+    EXPECT_LT(ni_iso, jord_iso);
+}
+
+TEST_F(RuntimeTest, DispatchLatencySampled)
+{
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(1.0, 1000, {{leafFn, 1.0}});
+    EXPECT_GT(res.dispatchNs.count(), 0u);
+    EXPECT_GT(res.dispatchNs.mean(), 1.0);
+    EXPECT_LT(res.dispatchNs.mean(), 200.0);
+}
+
+TEST_F(RuntimeTest, ShootdownsSampledForJord)
+{
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(1.0, 2000, {{parentFn, 1.0}});
+    EXPECT_GT(res.shootdownNs.count(), 0u);
+}
+
+TEST_F(RuntimeTest, WarmupExcludedFromMetrics)
+{
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(0.5, 1000, {{leafFn, 1.0}}, 0.5);
+    EXPECT_EQ(res.completedRequests, 500u);
+}
+
+TEST_F(RuntimeTest, AchievedTracksOfferedBelowSaturation)
+{
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(2.0, 4000, {{leafFn, 1.0}});
+    EXPECT_NEAR(res.achievedMrps, 2.0, 0.3);
+}
+
+TEST_F(RuntimeTest, AchievedSaturatesUnderOverload)
+{
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    // ~28 executors x ~0.5us+overheads => far below 60 MRPS.
+    RunResult res = worker.run(60.0, 4000, {{leafFn, 1.0}});
+    EXPECT_LT(res.achievedMrps, 45.0);
+    EXPECT_GT(res.latencyUs.p99(), 20.0);
+}
+
+// --- Deadlock freedom ----------------------------------------------------------
+
+TEST(RuntimeDeadlock, DeepNestedChainsCompleteUnderOverload)
+{
+    // A chain of sync calls four levels deep, driven far past
+    // saturation: internal-first dispatch (§3.3) must keep every
+    // request completing.
+    FunctionRegistry reg;
+    auto l3 = reg.add(makeSpec("l3", 0.3));
+    auto l2 = reg.add(makeSpec("l2", 0.3, {CallSpec{l3, 256, true}}));
+    auto l1 = reg.add(makeSpec("l1", 0.3, {CallSpec{l2, 256, true}}));
+    auto l0 = reg.add(makeSpec("l0", 0.3, {CallSpec{l1, 256, true}}));
+
+    WorkerConfig cfg;
+    cfg.jbsqBound = 1; // tightest external bound
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(30.0, 3000, {{l0, 1.0}});
+    EXPECT_EQ(res.completedRequests, 2400u); // all measured finished
+}
+
+TEST(RuntimeDeadlock, WideFanOutCompletes)
+{
+    FunctionRegistry reg;
+    auto leaf = reg.add(makeSpec("leaf", 0.2));
+    std::vector<CallSpec> calls(64, CallSpec{leaf, 256, false});
+    auto fan = reg.add(makeSpec("fan", 0.5, std::move(calls)));
+
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(1.0, 600, {{fan, 1.0}});
+    EXPECT_EQ(res.completedRequests, 480u);
+    EXPECT_EQ(res.invocations, 480u * 65);
+}
+
+// --- Configuration variants ------------------------------------------------------
+
+TEST(RuntimeConfig, SingleOrchestratorWorks)
+{
+    FunctionRegistry reg;
+    auto fn = reg.add(makeSpec("f", 0.5));
+    WorkerConfig cfg;
+    cfg.numOrchestrators = 1;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(0.5, 500, {{fn, 1.0}});
+    EXPECT_EQ(res.completedRequests, 400u);
+}
+
+TEST(RuntimeConfig, MultiSocketPerSocketOrchestrators)
+{
+    FunctionRegistry reg;
+    auto fn = reg.add(makeSpec("f", 0.5));
+    WorkerConfig cfg;
+    cfg.machine = sim::MachineConfig::scaled(64, 2);
+    cfg.numOrchestrators = 4;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(1.0, 1000, {{fn, 1.0}});
+    EXPECT_EQ(res.completedRequests, 800u);
+}
+
+TEST(RuntimeConfig, SmallMachineWorks)
+{
+    FunctionRegistry reg;
+    auto fn = reg.add(makeSpec("f", 0.5));
+    WorkerConfig cfg;
+    cfg.machine = sim::MachineConfig::scaled(16, 1);
+    cfg.numOrchestrators = 2;
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(0.5, 500, {{fn, 1.0}});
+    EXPECT_EQ(res.completedRequests, 400u);
+}
+
+TEST(RuntimeConfig, RepeatedRunsOnSameWorker)
+{
+    FunctionRegistry reg;
+    auto fn = reg.add(makeSpec("f", 0.5));
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, reg);
+    RunResult first = worker.run(0.5, 400, {{fn, 1.0}});
+    RunResult second = worker.run(0.5, 400, {{fn, 1.0}});
+    EXPECT_EQ(first.completedRequests, second.completedRequests);
+}
+
+} // namespace

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Threat-model tests (§3.1): attackers may forge arbitrary addresses,
+ * access them through loads/stores/execution, and call PrivLib
+ * arbitrarily. Every scenario here must end in a hardware fault or a
+ * PrivLib policy rejection — never in silent access to another
+ * domain's memory.
+ */
+
+#include "tests/fixture.hh"
+
+#include "sim/rng.hh"
+
+namespace {
+
+using jord::privlib::PrivLib;
+using jord::privlib::PrivResult;
+using jord::sim::Addr;
+using jord::sim::Rng;
+using jord::test::JordStackTest;
+using jord::uat::Fault;
+using jord::uat::PdId;
+using jord::uat::Perm;
+using jord::uat::UatAccess;
+
+class SecurityTest : public JordStackTest
+{
+  protected:
+    /** Allocate into @p pd from the trusted runtime context. */
+    Addr
+    rootMmapFor(unsigned core, PdId pd, std::uint64_t len,
+                Perm prot)
+    {
+        PdId saved = uat->csrFile(core).ucid;
+        uat->csrFile(core).ucid = PrivLib::kRootPd;
+        Addr vma = mustMmapFor(core, pd, len, prot);
+        uat->csrFile(core).ucid = saved;
+        return vma;
+    }
+
+    PdId victim = 0;
+    PdId attacker = 0;
+    Addr victimHeap = 0;
+    Addr attackerHeap = 0;
+
+    void
+    SetUp() override
+    {
+        victim = mustCget(0);
+        attacker = mustCget(1);
+        victimHeap = mustMmapFor(0, victim, 8192, Perm::rw());
+        attackerHeap = mustMmapFor(1, attacker, 8192, Perm::rw());
+        uat->csrFile(0).ucid = victim;
+        uat->csrFile(1).ucid = attacker;
+    }
+
+    void
+    TearDown() override
+    {
+        uat->csrFile(0).ucid = 0;
+        uat->csrFile(1).ucid = 0;
+    }
+};
+
+TEST_F(SecurityTest, CrossDomainLoadFaults)
+{
+    UatAccess acc = uat->dataAccess(1, victimHeap, Perm::r());
+    EXPECT_EQ(acc.fault, Fault::NoPermission);
+}
+
+TEST_F(SecurityTest, CrossDomainStoreFaults)
+{
+    UatAccess acc = uat->dataAccess(1, victimHeap + 100,
+                                    Perm(Perm::W));
+    EXPECT_EQ(acc.fault, Fault::NoPermission);
+}
+
+TEST_F(SecurityTest, CrossDomainExecFaults)
+{
+    UatAccess acc = uat->fetch(1, victimHeap);
+    EXPECT_FALSE(acc.ok());
+}
+
+TEST_F(SecurityTest, OwnMemoryStillWorks)
+{
+    EXPECT_TRUE(uat->dataAccess(1, attackerHeap, Perm::rw()).ok());
+    EXPECT_TRUE(uat->dataAccess(0, victimHeap, Perm::rw()).ok());
+}
+
+TEST_F(SecurityTest, ForgedAddressSweepNeverLeaks)
+{
+    // Probe thousands of forged addresses from the attacker's PD; the
+    // only accessible bytes must lie inside the attacker's own VMAs or
+    // global (shared runtime) VMAs that are not privileged.
+    Rng rng(99);
+    jord::uat::VaEncoding enc;
+    for (int i = 0; i < 5000; ++i) {
+        Addr va;
+        switch (i % 3) {
+          case 0: // around the victim's heap
+            va = victimHeap + rng.uniformInt(std::uint64_t(16384));
+            break;
+          case 1: // anywhere in the UAT region
+            va = enc.encode(
+                static_cast<unsigned>(rng.uniformInt(std::uint64_t(26))),
+                0);
+            va += rng.uniformInt(std::uint64_t(1) << 20);
+            break;
+          default: // completely wild
+            va = rng.next();
+        }
+        UatAccess acc = uat->dataAccess(1, va, Perm(Perm::W));
+        if (acc.ok()) {
+            bool own = va >= attackerHeap && va < attackerHeap + 8192;
+            EXPECT_TRUE(own) << std::hex << "leak at " << va;
+        }
+    }
+}
+
+TEST_F(SecurityTest, VmaTableIsOutsideReach)
+{
+    // The VMA table lives outside the UAT VA region; untrusted loads
+    // cannot even name it.
+    Addr vte = table->vteAddrOf(victimHeap);
+    UatAccess acc = uat->dataAccess(1, vte, Perm::r());
+    EXPECT_FALSE(acc.ok());
+}
+
+TEST_F(SecurityTest, PrivlibDataNeedsPbit)
+{
+    UatAccess acc = uat->dataAccess(1, privlib->privDataBase(),
+                                    Perm::r());
+    EXPECT_EQ(acc.fault, Fault::PrivilegedAccess);
+}
+
+TEST_F(SecurityTest, PrivlibEntryOnlyThroughGates)
+{
+    UatAccess mid = uat->fetch(1, privlib->privCodeBase() + 24);
+    EXPECT_EQ(mid.fault, Fault::BadGate);
+    EXPECT_FALSE(uat->privileged(1));
+}
+
+TEST_F(SecurityTest, CsrForgeryBlocked)
+{
+    // The attacker (unprivileged) tries to widen its view by pointing
+    // ucid at the victim's domain.
+    EXPECT_EQ(uat->writeCsr(1, jord::uat::UatCsr::Ucid, victim),
+              Fault::IllegalCsr);
+    EXPECT_EQ(uat->csrFile(1).ucid, attacker);
+}
+
+TEST_F(SecurityTest, MunmapOfForeignVmaRejected)
+{
+    PrivResult res = privlib->munmap(1, victimHeap, 8192);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.fault, Fault::NoPermission);
+    // The victim's mapping is intact.
+    EXPECT_TRUE(uat->dataAccess(0, victimHeap, Perm::rw()).ok());
+}
+
+TEST_F(SecurityTest, MprotectOfForeignVmaRejected)
+{
+    EXPECT_FALSE(privlib->mprotect(1, victimHeap, 8192, Perm::rw()).ok);
+}
+
+TEST_F(SecurityTest, StealingPermissionViaPmoveRejected)
+{
+    // pmove moves the *caller's* permission; the attacker has none.
+    PrivResult res = privlib->pmove(1, victimHeap, attacker, Perm::rw());
+    EXPECT_FALSE(res.ok);
+    PrivResult copy =
+        privlib->pcopy(1, victimHeap, attacker, Perm::r());
+    EXPECT_FALSE(copy.ok);
+}
+
+TEST_F(SecurityTest, MmapForIsRootOnly)
+{
+    PrivResult res = privlib->mmapFor(1, victim, 4096, Perm::rw());
+    EXPECT_FALSE(res.ok);
+}
+
+TEST_F(SecurityTest, AttackerCannotEnterVictimDomain)
+{
+    PrivResult res = privlib->ccall(1, victim);
+    EXPECT_FALSE(res.ok);
+    PrivResult resume = privlib->center(1, victim);
+    EXPECT_FALSE(resume.ok);
+}
+
+TEST_F(SecurityTest, AttackerCannotDestroyVictimDomain)
+{
+    EXPECT_FALSE(privlib->cput(1, victim).ok);
+    EXPECT_TRUE(privlib->pdValid(victim));
+}
+
+TEST_F(SecurityTest, RevokedPermissionIsGoneEvenWhenCached)
+{
+    // The attacker gets legitimate access, caches the translation in
+    // its VLB, then the victim revokes: the hardware shootdown must
+    // invalidate the cached entry.
+    uat->csrFile(0).ucid = victim;
+    ASSERT_TRUE(privlib->pcopy(0, victimHeap, attacker, Perm::r()).ok);
+    ASSERT_TRUE(uat->dataAccess(1, victimHeap, Perm::r()).ok());
+
+    // Victim takes the permission back (root-mediated revocation).
+    uat->csrFile(0).ucid = 0;
+    ASSERT_TRUE(privlib
+                    ->pmoveBetween(0, victimHeap, attacker,
+                                   PrivLib::kRootPd, Perm::r())
+                    .ok);
+    EXPECT_EQ(uat->dataAccess(1, victimHeap, Perm::r()).fault,
+              Fault::NoPermission);
+}
+
+TEST_F(SecurityTest, UseAfterMunmapFaults)
+{
+    Addr vma = rootMmapFor(1, attacker, 4096, Perm::rw());
+    ASSERT_TRUE(uat->dataAccess(1, vma, Perm::rw()).ok());
+    PrivResult un = privlib->munmap(1, vma, 4096);
+    ASSERT_TRUE(un.ok);
+    EXPECT_FALSE(uat->dataAccess(1, vma, Perm::r()).ok());
+}
+
+TEST_F(SecurityTest, RecycledVaDoesNotLeakToPreviousOwner)
+{
+    // Attacker frees a VMA; the same VA is handed to the victim. The
+    // attacker's stale pointer (and any cached VLB entry) must fault.
+    Addr vma = rootMmapFor(1, attacker, 4096, Perm::rw());
+    uat->dataAccess(1, vma, Perm::rw()); // cache translation
+    ASSERT_TRUE(privlib->munmap(1, vma, 4096).ok);
+
+    // Re-allocate the same VA index into the victim's domain. The
+    // magazines are per-core, so allocate from core 1 where it was
+    // freed, into the victim's PD via the root API.
+    Addr reused = rootMmapFor(1, victim, 4096, Perm::rw());
+    ASSERT_EQ(reused, vma); // same VA recycled
+    EXPECT_FALSE(uat->dataAccess(1, vma, Perm::r()).ok());
+    uat->csrFile(0).ucid = victim;
+    EXPECT_TRUE(uat->dataAccess(0, vma, Perm::rw()).ok());
+}
+
+TEST_F(SecurityTest, RecycledPdInheritsNothing)
+{
+    // Destroy the attacker PD (after cleaning up) and let a new tenant
+    // receive the recycled id: the old VMAs must not be reachable.
+    ASSERT_TRUE(privlib->munmap(1, attackerHeap, 8192).ok);
+    uat->csrFile(1).ucid = 0;
+    ASSERT_TRUE(privlib->cput(1, attacker).ok);
+
+    PrivResult fresh = privlib->cget(1);
+    ASSERT_TRUE(fresh.ok);
+    EXPECT_EQ(fresh.value, attacker); // id recycled
+    uat->csrFile(1).ucid = static_cast<PdId>(fresh.value);
+    EXPECT_FALSE(uat->dataAccess(1, victimHeap, Perm::r()).ok());
+    EXPECT_FALSE(uat->dataAccess(1, attackerHeap, Perm::r()).ok());
+}
+
+TEST_F(SecurityTest, BoundCheckStopsIntraChunkOverflow)
+{
+    // A 200-byte VMA sits in a 256-byte chunk; the trailing 56 bytes
+    // are reserved and must not be accessible.
+    Addr vma = rootMmapFor(1, attacker, 200, Perm::rw());
+    EXPECT_TRUE(uat->dataAccess(1, vma + 199, Perm::r()).ok());
+    EXPECT_EQ(uat->dataAccess(1, vma + 200, Perm::r()).fault,
+              Fault::OutOfBound);
+}
+
+TEST_F(SecurityTest, GateCheckSurvivesVlbPressure)
+{
+    // Thrash the I-VLB, then retry the bad entry: the P-bit rule is
+    // checked on the refill path too, not only on cached entries.
+    for (int i = 0; i < 40; ++i) {
+        Addr code = rootMmapFor(1, attacker, 4096, Perm::rx());
+        uat->fetch(1, code);
+    }
+    UatAccess mid = uat->fetch(1, privlib->privCodeBase() + 24);
+    EXPECT_EQ(mid.fault, Fault::BadGate);
+}
+
+} // namespace

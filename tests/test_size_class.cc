@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the size-class-embedded VA encoding (Fig. 6), including the
+ * encode/decode round-trip property and plain-list slot bijectivity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hh"
+#include "uat/size_class.hh"
+
+namespace {
+
+using jord::sim::Addr;
+using jord::sim::Rng;
+using jord::uat::DecodedVa;
+using jord::uat::kNumSizeClasses;
+using jord::uat::VaEncoding;
+
+TEST(SizeClass, TwentySixClassesFrom128BTo4GB)
+{
+    EXPECT_EQ(kNumSizeClasses, 26u);
+    EXPECT_EQ(VaEncoding::classSize(0), 128u);
+    EXPECT_EQ(VaEncoding::classSize(25), 4ull << 30);
+}
+
+TEST(SizeClass, ClassForSizeBoundaries)
+{
+    EXPECT_EQ(VaEncoding::classForSize(1).value(), 0u);
+    EXPECT_EQ(VaEncoding::classForSize(128).value(), 0u);
+    EXPECT_EQ(VaEncoding::classForSize(129).value(), 1u);
+    EXPECT_EQ(VaEncoding::classForSize(256).value(), 1u);
+    EXPECT_EQ(VaEncoding::classForSize(4096).value(), 5u);
+    EXPECT_EQ(VaEncoding::classForSize(4ull << 30).value(), 25u);
+    EXPECT_FALSE(VaEncoding::classForSize((4ull << 30) + 1).has_value());
+    EXPECT_FALSE(VaEncoding::classForSize(0).has_value());
+}
+
+TEST(SizeClass, ClassChunkAlwaysCoversRequest)
+{
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t bytes = 1 + rng.uniformInt((4ull << 30) - 1);
+        auto sc = VaEncoding::classForSize(bytes);
+        ASSERT_TRUE(sc.has_value());
+        EXPECT_GE(VaEncoding::classSize(*sc), bytes);
+        // Never more than 2x over-provisioned (power-of-two classes).
+        EXPECT_LT(VaEncoding::classSize(*sc), 2 * bytes + 128);
+    }
+}
+
+TEST(SizeClass, EncodedVasCarryTopPattern)
+{
+    VaEncoding enc;
+    Addr va = enc.encode(3, 42);
+    EXPECT_TRUE(VaEncoding::inUatRegion(va));
+    EXPECT_FALSE(VaEncoding::inUatRegion(0x7f00'0000'0000ull));
+    EXPECT_FALSE(VaEncoding::inUatRegion(0));
+}
+
+TEST(SizeClass, EncodeDecodeRoundTripProperty)
+{
+    VaEncoding enc;
+    Rng rng(2);
+    for (int i = 0; i < 20000; ++i) {
+        unsigned sc =
+            static_cast<unsigned>(rng.uniformInt(std::uint64_t(26)));
+        std::uint64_t index = rng.uniformInt(enc.indicesPerClass(sc));
+        std::uint64_t offset =
+            rng.uniformInt(VaEncoding::classSize(sc));
+        Addr va = enc.encode(sc, index) + offset;
+        auto decoded = enc.decode(va);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->sizeClass, sc);
+        EXPECT_EQ(decoded->index, index);
+        EXPECT_EQ(decoded->offset, offset);
+    }
+}
+
+TEST(SizeClass, DistinctVmasNeverOverlap)
+{
+    // Any two distinct (class, index) pairs yield disjoint VA chunks.
+    VaEncoding enc;
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        unsigned sc_a =
+            static_cast<unsigned>(rng.uniformInt(std::uint64_t(26)));
+        unsigned sc_b =
+            static_cast<unsigned>(rng.uniformInt(std::uint64_t(26)));
+        std::uint64_t idx_a =
+            rng.uniformInt(enc.indicesPerClass(sc_a));
+        std::uint64_t idx_b =
+            rng.uniformInt(enc.indicesPerClass(sc_b));
+        if (sc_a == sc_b && idx_a == idx_b)
+            continue;
+        Addr a_lo = enc.encode(sc_a, idx_a);
+        Addr a_hi = a_lo + VaEncoding::classSize(sc_a);
+        Addr b_lo = enc.encode(sc_b, idx_b);
+        Addr b_hi = b_lo + VaEncoding::classSize(sc_b);
+        EXPECT_TRUE(a_hi <= b_lo || b_hi <= a_lo)
+            << "overlap: sc" << sc_a << "/" << idx_a << " vs sc" << sc_b
+            << "/" << idx_b;
+    }
+}
+
+TEST(SizeClass, SlotInterleavingIsBijective)
+{
+    VaEncoding enc;
+    std::set<std::uint64_t> slots;
+    for (unsigned sc = 0; sc < kNumSizeClasses; ++sc)
+        for (std::uint64_t index = 0; index < 100; ++index)
+            EXPECT_TRUE(slots.insert(enc.slotOf(sc, index)).second);
+    // Slots interleave evenly: consecutive slots belong to
+    // consecutive classes (f(sc, idx) = idx * 26 + sc).
+    EXPECT_EQ(enc.slotOf(0, 0), 0u);
+    EXPECT_EQ(enc.slotOf(1, 0), 1u);
+    EXPECT_EQ(enc.slotOf(0, 1), 26u);
+}
+
+TEST(SizeClass, SlotToClassIndexInverts)
+{
+    VaEncoding enc;
+    Rng rng(4);
+    for (int i = 0; i < 5000; ++i) {
+        unsigned sc =
+            static_cast<unsigned>(rng.uniformInt(std::uint64_t(26)));
+        std::uint64_t index = rng.uniformInt(enc.indicesPerClass(sc));
+        DecodedVa back = enc.slotToClassIndex(enc.slotOf(sc, index));
+        EXPECT_EQ(back.sizeClass, sc);
+        EXPECT_EQ(back.index, index);
+    }
+}
+
+TEST(SizeClass, VmaBaseStripsOffset)
+{
+    VaEncoding enc;
+    Addr base = enc.encode(5, 7);
+    EXPECT_EQ(enc.vmaBase(base + 1234).value(), base);
+    EXPECT_FALSE(enc.vmaBase(0x1234).has_value());
+}
+
+TEST(SizeClass, OutOfRangeIndexRejectedByDecode)
+{
+    VaEncoding small(26 * 4); // 4 indices per class
+    Addr va = small.encode(0, 3);
+    EXPECT_TRUE(small.decode(va).has_value());
+    // Compose an address with a too-large index by hand.
+    Addr bogus = va + 4 * 128;
+    EXPECT_FALSE(small.decode(bogus).has_value());
+}
+
+TEST(SizeClassDeathTest, EncodePanicsOnBadInput)
+{
+    VaEncoding enc;
+    EXPECT_DEATH(enc.encode(26, 0), "size class");
+    EXPECT_DEATH(enc.encode(0, enc.indicesPerClass(0)), "capacity");
+}
+
+TEST(SizeClass, DefaultCapacityMatches64MbTable)
+{
+    // 64 MB of 64 B VTEs = 1 Mi entries (§4.1).
+    VaEncoding enc;
+    EXPECT_EQ(enc.tableCapacity(), (64ull << 20) / 64);
+}
+
+} // namespace

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * End-to-end smoke tests: every system variant runs every workload to
+ * completion and produces sane metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/worker.hh"
+#include "workloads/workloads.hh"
+
+namespace {
+
+using namespace jord;
+using runtime::RunResult;
+using runtime::SystemKind;
+using runtime::WorkerConfig;
+using runtime::WorkerServer;
+
+TEST(Smoke, JordRunsHipsterLowLoad)
+{
+    workloads::Workload w = workloads::makeHipster();
+    WorkerConfig cfg;
+    WorkerServer worker(cfg, w.registry);
+    RunResult res = worker.run(0.1, 500, w.mix);
+    EXPECT_GT(res.completedRequests, 300u);
+    EXPECT_GT(res.latencyUs.mean(), 0.5);
+    EXPECT_LT(res.latencyUs.mean(), 100.0);
+    EXPECT_GT(res.invocations, res.completedRequests);
+}
+
+class AllSystemsAllWorkloads
+    : public ::testing::TestWithParam<std::tuple<SystemKind, int>>
+{
+};
+
+TEST_P(AllSystemsAllWorkloads, CompletesAndMeasures)
+{
+    auto [system, wl_idx] = GetParam();
+    auto all = workloads::makeAll();
+    workloads::Workload &w = all[static_cast<size_t>(wl_idx)];
+
+    WorkerConfig cfg;
+    cfg.system = system;
+    WorkerServer worker(cfg, w.registry);
+    RunResult res = worker.run(0.05, 300, w.mix);
+    EXPECT_GT(res.completedRequests, 200u)
+        << "workload=" << w.name << " system=" << systemName(system);
+    EXPECT_GT(res.latencyUs.p99(), 0.0);
+    EXPECT_GT(res.serviceUs.count(), 0u);
+}
+
+std::string
+matrixName(
+    const ::testing::TestParamInfo<std::tuple<SystemKind, int>> &info)
+{
+    static const char *const names[] = {"Hipster", "Hotel", "Media",
+                                        "Social"};
+    return std::string(systemName(std::get<0>(info.param))) +
+           names[std::get<1>(info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllSystemsAllWorkloads,
+    ::testing::Combine(::testing::Values(SystemKind::Jord,
+                                         SystemKind::JordNI,
+                                         SystemKind::JordBT,
+                                         SystemKind::NightCore),
+                       ::testing::Values(0, 1, 2, 3)),
+    matrixName);
+
+} // namespace

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the conventional TLB, the timed MMU walker, and the
+ * OS-mediated mmap/mprotect/munmap path with IPI shootdowns — the slow
+ * path Jord is designed to avoid (§2.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/coherence.hh"
+#include "noc/mesh.hh"
+#include "vm/posix_vm.hh"
+#include "vm/tlb.hh"
+#include "vm/walker.hh"
+
+namespace {
+
+using jord::mem::CoherenceEngine;
+using jord::noc::Mesh;
+using jord::sim::Addr;
+using jord::sim::MachineConfig;
+using jord::vm::kPageBytes;
+using jord::vm::Mmu;
+using jord::vm::PagePerms;
+using jord::vm::PageTable;
+using jord::vm::PosixVm;
+using jord::vm::Tlb;
+using jord::vm::Translation;
+using jord::vm::VmOpResult;
+
+constexpr Addr kVa = 0x7f00'0000'0000ull;
+constexpr Addr kPa = 0x0100'0000'0000ull;
+
+// --- Tlb ---------------------------------------------------------------------
+
+TEST(Tlb, HitAfterInsert)
+{
+    Tlb tlb(48);
+    tlb.insert(kVa, Translation{kPa, PagePerms::rw()});
+    auto t = tlb.lookup(kVa + 0x40);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_EQ(t->pa, kPa + 0x40);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+}
+
+TEST(Tlb, MissOnUnknownPage)
+{
+    Tlb tlb(48);
+    EXPECT_FALSE(tlb.lookup(kVa).has_value());
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, LruEvictionInFullyAssociative)
+{
+    Tlb tlb(4);
+    for (unsigned i = 0; i < 4; ++i)
+        tlb.insert(kVa + i * kPageBytes, Translation{kPa, {}});
+    tlb.lookup(kVa); // make page 0 MRU
+    tlb.insert(kVa + 4 * kPageBytes, Translation{kPa, {}});
+    EXPECT_TRUE(tlb.probe(kVa).has_value());
+    EXPECT_FALSE(tlb.probe(kVa + kPageBytes).has_value()); // LRU victim
+    EXPECT_EQ(tlb.stats().evictions, 1u);
+}
+
+TEST(Tlb, SetAssociativeConflicts)
+{
+    // 8 entries, 2-way: 4 sets; pages mapping to the same set conflict.
+    Tlb tlb(8, 2);
+    Addr stride = 4 * kPageBytes; // same set index
+    tlb.insert(kVa, Translation{kPa, {}});
+    tlb.insert(kVa + stride, Translation{kPa, {}});
+    tlb.insert(kVa + 2 * stride, Translation{kPa, {}});
+    unsigned present = tlb.probe(kVa).has_value() +
+                       tlb.probe(kVa + stride).has_value() +
+                       tlb.probe(kVa + 2 * stride).has_value();
+    EXPECT_EQ(present, 2u);
+}
+
+TEST(Tlb, InvalidatePage)
+{
+    Tlb tlb(48);
+    tlb.insert(kVa, Translation{kPa, {}});
+    EXPECT_TRUE(tlb.invalidatePage(kVa));
+    EXPECT_FALSE(tlb.probe(kVa).has_value());
+    EXPECT_FALSE(tlb.invalidatePage(kVa));
+}
+
+TEST(Tlb, InvalidateAllClearsOccupancy)
+{
+    Tlb tlb(48);
+    for (unsigned i = 0; i < 10; ++i)
+        tlb.insert(kVa + i * kPageBytes, Translation{kPa, {}});
+    EXPECT_EQ(tlb.occupancy(), 10u);
+    tlb.invalidateAll();
+    EXPECT_EQ(tlb.occupancy(), 0u);
+}
+
+TEST(Tlb, ReinsertUpdatesInPlace)
+{
+    Tlb tlb(4);
+    tlb.insert(kVa, Translation{kPa, PagePerms::rw()});
+    tlb.insert(kVa, Translation{kPa, PagePerms::ro()});
+    EXPECT_EQ(tlb.occupancy(), 1u);
+    EXPECT_FALSE(tlb.probe(kVa)->perms.write);
+}
+
+// --- Mmu walker --------------------------------------------------------------
+
+class MmuTest : public ::testing::Test
+{
+  protected:
+    MachineConfig cfg = MachineConfig::isca25Default();
+    Mesh mesh{cfg};
+    CoherenceEngine engine{cfg, mesh};
+    PageTable table;
+    Mmu mmu{cfg, engine, table, 0};
+};
+
+TEST_F(MmuTest, WalkFillsTlbs)
+{
+    table.map(kVa, kPa, kPageBytes, PagePerms::rw());
+    auto first = mmu.translate(kVa);
+    ASSERT_TRUE(first.translation.has_value());
+    EXPECT_FALSE(first.l1TlbHit);
+    EXPECT_EQ(first.levelsWalked, 4u);
+
+    auto second = mmu.translate(kVa);
+    EXPECT_TRUE(second.l1TlbHit);
+    EXPECT_LT(second.latency, first.latency);
+}
+
+TEST_F(MmuTest, L2TlbCatchesL1Evictions)
+{
+    table.map(kVa, kPa, kPageBytes, PagePerms::rw());
+    mmu.translate(kVa);
+    mmu.l1Tlb().invalidateAll();
+    auto res = mmu.translate(kVa);
+    EXPECT_FALSE(res.l1TlbHit);
+    EXPECT_TRUE(res.l2TlbHit);
+    EXPECT_EQ(res.levelsWalked, 0u);
+}
+
+TEST_F(MmuTest, PageFaultReported)
+{
+    auto res = mmu.translate(kVa);
+    EXPECT_FALSE(res.translation.has_value());
+    EXPECT_GT(res.latency, 0u);
+}
+
+TEST_F(MmuTest, ColdWalkCostsMoreThanWarmWalk)
+{
+    table.map(kVa, kPa, kPageBytes, PagePerms::rw());
+    auto cold = mmu.translate(kVa);
+    mmu.invalidateAll();
+    auto warm = mmu.translate(kVa); // PTE lines now cached
+    EXPECT_GT(cold.latency, warm.latency);
+}
+
+// --- PosixVm ------------------------------------------------------------------
+
+class PosixVmTest : public ::testing::Test
+{
+  protected:
+    MachineConfig cfg = MachineConfig::isca25Default();
+    Mesh mesh{cfg};
+    CoherenceEngine engine{cfg, mesh};
+    PosixVm vm{cfg, engine};
+};
+
+TEST_F(PosixVmTest, MmapThenAccess)
+{
+    VmOpResult res = vm.mmap(0, 8 * kPageBytes, PagePerms::rw());
+    ASSERT_TRUE(res.ok);
+    EXPECT_GT(res.latency, vm.costs().syscallCycles);
+    EXPECT_EQ(vm.numVmas(), 1u);
+
+    VmOpResult acc = vm.access(0, res.addr, true);
+    EXPECT_TRUE(acc.ok);
+    VmOpResult ro = vm.access(0, res.addr + 5 * kPageBytes, false);
+    EXPECT_TRUE(ro.ok);
+}
+
+TEST_F(PosixVmTest, AccessOutsideMappingFaults)
+{
+    VmOpResult acc = vm.access(0, 0xdead'0000, false);
+    EXPECT_FALSE(acc.ok);
+}
+
+TEST_F(PosixVmTest, MprotectEnforcedAndShootsDown)
+{
+    VmOpResult res = vm.mmap(0, kPageBytes, PagePerms::rw());
+    ASSERT_TRUE(res.ok);
+    // Warm remote TLBs.
+    EXPECT_TRUE(vm.access(5, res.addr, true).ok);
+    VmOpResult prot = vm.mprotect(0, res.addr, kPageBytes,
+                                  PagePerms::ro());
+    ASSERT_TRUE(prot.ok);
+    EXPECT_EQ(prot.ipis, cfg.numCores - 1);
+    EXPECT_FALSE(vm.access(5, res.addr, true).ok);
+    EXPECT_TRUE(vm.access(5, res.addr, false).ok);
+}
+
+TEST_F(PosixVmTest, MunmapRemovesMapping)
+{
+    VmOpResult res = vm.mmap(0, 2 * kPageBytes, PagePerms::rw());
+    ASSERT_TRUE(res.ok);
+    VmOpResult un = vm.munmap(0, res.addr, 2 * kPageBytes);
+    ASSERT_TRUE(un.ok);
+    EXPECT_EQ(vm.numVmas(), 0u);
+    EXPECT_FALSE(vm.access(0, res.addr, false).ok);
+}
+
+TEST_F(PosixVmTest, MunmapWrongLengthRejected)
+{
+    VmOpResult res = vm.mmap(0, 2 * kPageBytes, PagePerms::rw());
+    EXPECT_FALSE(vm.munmap(0, res.addr, kPageBytes).ok);
+}
+
+TEST_F(PosixVmTest, ShootdownCostsMicroseconds)
+{
+    // The motivating observation of §2.2: OS-level permission changes
+    // take on the order of microseconds due to IPI-based shootdowns.
+    VmOpResult res = vm.mmap(0, kPageBytes, PagePerms::rw());
+    VmOpResult prot = vm.mprotect(0, res.addr, kPageBytes,
+                                  PagePerms::ro());
+    double us = jord::sim::cyclesToUs(prot.latency, cfg.freqGhz);
+    EXPECT_GT(us, 1.0);
+}
+
+TEST_F(PosixVmTest, DistinctMmapsDontOverlap)
+{
+    VmOpResult a = vm.mmap(0, 4 * kPageBytes, PagePerms::rw());
+    VmOpResult b = vm.mmap(1, 4 * kPageBytes, PagePerms::rw());
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_GE(b.addr, a.addr + 4 * kPageBytes);
+}
+
+} // namespace

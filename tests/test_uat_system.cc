@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the assembled UAT hardware access path: translation, fault
+ * generation, P-bit / uatg enforcement (§4.3), CSR privilege, and
+ * hardware VLB shootdowns driven by T-bit coherence traffic (§4.2).
+ */
+
+#include "tests/fixture.hh"
+
+namespace {
+
+using jord::sim::Addr;
+using jord::sim::Cycles;
+using jord::test::JordStackTest;
+using jord::uat::Fault;
+using jord::uat::Perm;
+using jord::uat::PdId;
+using jord::uat::UatAccess;
+using jord::uat::UatCsr;
+
+class UatSystemTest : public JordStackTest
+{
+  protected:
+    PdId pd = 0;
+    Addr vma = 0;
+
+    void
+    SetUp() override
+    {
+        pd = mustCget(0);
+        vma = mustMmapFor(0, pd, 4096, Perm::rw());
+    }
+
+    /** Run an access with the core's ucid temporarily set to @p as. */
+    UatAccess
+    accessAs(unsigned core, PdId as, Addr va, Perm need)
+    {
+        PdId saved = uat->csrFile(core).ucid;
+        uat->csrFile(core).ucid = as;
+        UatAccess acc = uat->dataAccess(core, va, need);
+        uat->csrFile(core).ucid = saved;
+        return acc;
+    }
+};
+
+TEST_F(UatSystemTest, AccessSucceedsWithPermission)
+{
+    UatAccess acc = accessAs(0, pd, vma + 128, Perm::rw());
+    EXPECT_TRUE(acc.ok());
+    EXPECT_NE(acc.pa, 0u);
+}
+
+TEST_F(UatSystemTest, TranslationAppliesRangeOffset)
+{
+    UatAccess a = accessAs(0, pd, vma, Perm::r());
+    UatAccess b = accessAs(0, pd, vma + 777, Perm::r());
+    EXPECT_EQ(b.pa - a.pa, 777u);
+}
+
+TEST_F(UatSystemTest, SecondAccessHitsVlb)
+{
+    UatAccess miss = accessAs(0, pd, vma, Perm::r());
+    UatAccess hit = accessAs(0, pd, vma + 64, Perm::r());
+    EXPECT_FALSE(miss.vlbHit);
+    EXPECT_TRUE(hit.vlbHit);
+    EXPECT_EQ(hit.latency, 0u); // overlapped with the L1 access
+}
+
+TEST_F(UatSystemTest, WalkWithWarmL1IsTwoNanoseconds)
+{
+    accessAs(0, pd, vma, Perm::r()); // warm VTE line + VLB
+    uat->dvlb(0).invalidateVte(table->vteAddrOf(vma));
+    UatAccess walk = accessAs(0, pd, vma, Perm::r());
+    EXPECT_FALSE(walk.vlbHit);
+    EXPECT_EQ(jord::sim::cyclesToNs(walk.latency, cfg.freqGhz), 2.0);
+}
+
+TEST_F(UatSystemTest, NonUatVaFaults)
+{
+    UatAccess acc = accessAs(0, pd, 0x7f00'0000'0000ull, Perm::r());
+    EXPECT_EQ(acc.fault, Fault::NotUatVa);
+}
+
+TEST_F(UatSystemTest, UnmappedUatVaFaults)
+{
+    jord::uat::VaEncoding enc;
+    UatAccess acc = accessAs(0, pd, enc.encode(9, 999), Perm::r());
+    EXPECT_EQ(acc.fault, Fault::NotMapped);
+}
+
+TEST_F(UatSystemTest, OutOfBoundFaults)
+{
+    // 4096-byte VMA in an 4096-byte class: offset 4096 is in the next
+    // chunk; shrink the bound to expose the out-of-bound check.
+    uat->csrFile(0).ucid = pd;
+    ASSERT_TRUE(privlib->mprotect(0, vma, 1000, Perm::rw()).ok);
+    uat->csrFile(0).ucid = 0;
+    UatAccess inside = accessAs(0, pd, vma + 999, Perm::r());
+    UatAccess outside = accessAs(0, pd, vma + 1000, Perm::r());
+    EXPECT_TRUE(inside.ok());
+    EXPECT_EQ(outside.fault, Fault::OutOfBound);
+}
+
+TEST_F(UatSystemTest, WrongPdFaults)
+{
+    PdId other = mustCget(0);
+    UatAccess acc = accessAs(0, other, vma, Perm::r());
+    EXPECT_EQ(acc.fault, Fault::NoPermission);
+}
+
+TEST_F(UatSystemTest, WriteToReadOnlyFaults)
+{
+    Addr ro = mustMmapFor(0, pd, 4096, Perm::r());
+    EXPECT_TRUE(accessAs(0, pd, ro, Perm::r()).ok());
+    EXPECT_EQ(accessAs(0, pd, ro, Perm(Perm::W)).fault,
+              Fault::NoPermission);
+}
+
+TEST_F(UatSystemTest, ExecuteNeedsXPermission)
+{
+    uat->csrFile(0).ucid = pd;
+    UatAccess acc = uat->fetch(0, vma); // rw VMA, no X
+    EXPECT_EQ(acc.fault, Fault::NoPermission);
+    uat->csrFile(0).ucid = 0;
+}
+
+// --- P bit and gates -----------------------------------------------------------
+
+TEST_F(UatSystemTest, PrivilegedVmaRejectsUnprivilegedLoad)
+{
+    // PrivLib's data VMA is privileged; code running without the P bit
+    // cannot touch it even though it is global.
+    uat->forcePrivileged(0, false);
+    UatAccess acc = uat->dataAccess(0, privlib->privDataBase(),
+                                    Perm::r());
+    EXPECT_EQ(acc.fault, Fault::PrivilegedAccess);
+}
+
+TEST_F(UatSystemTest, PrivilegedCodeMayTouchPrivilegedVma)
+{
+    uat->forcePrivileged(0, true);
+    UatAccess acc = uat->dataAccess(0, privlib->privDataBase(),
+                                    Perm::rw());
+    EXPECT_TRUE(acc.ok());
+    uat->forcePrivileged(0, false);
+}
+
+TEST_F(UatSystemTest, GateEntryRequired)
+{
+    uat->forcePrivileged(0, false);
+    // Jumping into the middle of PrivLib (not a registered uatg gate)
+    // must raise an invalid-instruction fault.
+    UatAccess bad = uat->fetch(0, privlib->privCodeBase() + 8);
+    EXPECT_EQ(bad.fault, Fault::BadGate);
+    EXPECT_FALSE(uat->privileged(0));
+
+    UatAccess good = uat->fetch(0, privlib->privCodeBase());
+    EXPECT_TRUE(good.ok());
+    EXPECT_TRUE(uat->privileged(0));
+}
+
+TEST_F(UatSystemTest, PrivilegedToUnprivilegedTransitionIsFree)
+{
+    uat->fetch(0, privlib->privCodeBase());
+    ASSERT_TRUE(uat->privileged(0));
+    Addr code = mustMmapFor(0, pd, 4096, Perm::rx());
+    uat->csrFile(0).ucid = pd;
+    UatAccess back = uat->fetch(0, code);
+    EXPECT_TRUE(back.ok());
+    EXPECT_FALSE(uat->privileged(0));
+    uat->csrFile(0).ucid = 0;
+}
+
+TEST_F(UatSystemTest, PrivilegedCodeMayJumpWithinPrivlib)
+{
+    uat->fetch(0, privlib->privCodeBase());
+    // Once privileged, non-gate privileged addresses are fine.
+    UatAccess acc = uat->fetch(0, privlib->privCodeBase() + 8);
+    EXPECT_TRUE(acc.ok());
+}
+
+// --- CSRs ------------------------------------------------------------------------
+
+TEST_F(UatSystemTest, CsrAccessRequiresPbit)
+{
+    uat->forcePrivileged(0, false);
+    EXPECT_EQ(uat->writeCsr(0, UatCsr::Ucid, 5), Fault::IllegalCsr);
+    std::uint64_t value = 0;
+    EXPECT_EQ(uat->readCsr(0, UatCsr::Uatp, value), Fault::IllegalCsr);
+
+    uat->forcePrivileged(0, true);
+    EXPECT_EQ(uat->writeCsr(0, UatCsr::Ucid, 5), Fault::None);
+    EXPECT_EQ(uat->csrFile(0).ucid, 5);
+    EXPECT_EQ(uat->readCsr(0, UatCsr::Uatp, value), Fault::None);
+    EXPECT_NE(value, 0u);
+    uat->forcePrivileged(0, false);
+}
+
+TEST_F(UatSystemTest, UcidRangeChecked)
+{
+    uat->forcePrivileged(0, true);
+    EXPECT_EQ(uat->writeCsr(0, UatCsr::Ucid, 0x10000),
+              Fault::IllegalCsr);
+    uat->forcePrivileged(0, false);
+}
+
+TEST_F(UatSystemTest, DisablingUatpFallsBackToPageTables)
+{
+    uat->csrFile(0).setUatp(table->baseAddr(), false);
+    UatAccess acc = accessAs(0, pd, vma, Perm::r());
+    EXPECT_EQ(acc.fault, Fault::NotUatVa);
+    uat->csrFile(0).setUatp(table->baseAddr(), true);
+}
+
+// --- Hardware shootdown ------------------------------------------------------------
+
+TEST_F(UatSystemTest, VteWriteShootsDownRemoteVlbs)
+{
+    Addr vte = table->vteAddrOf(vma);
+    // Core 3 caches the translation.
+    uat->csrFile(3).ucid = pd;
+    ASSERT_TRUE(uat->dataAccess(3, vma, Perm::r()).ok());
+    ASSERT_TRUE(uat->dvlb(3).holdsVte(vte));
+
+    // Core 0 (PrivLib) writes the VTE with the T bit.
+    uat->vteWrite(0, vte);
+    EXPECT_FALSE(uat->dvlb(3).holdsVte(vte));
+    uat->csrFile(3).ucid = 0;
+}
+
+TEST_F(UatSystemTest, LocalDirtyVteWriteInvalidatesOnlyLocally)
+{
+    Addr vte = table->vteAddrOf(vma);
+    uat->csrFile(0).ucid = pd;
+    uat->dataAccess(0, vma, Perm::r());
+    uat->csrFile(0).ucid = 0;
+    uat->vteWrite(0, vte); // first write: coherence traffic
+    uat->dataAccess(0, vma, Perm::r());
+    auto samples_before = uat->shootdownLatency().count();
+    uat->vteWrite(0, vte); // dirty in own L1: local-only
+    EXPECT_FALSE(uat->dvlb(0).holdsVte(vte));
+    EXPECT_EQ(uat->shootdownLatency().count(), samples_before);
+}
+
+TEST_F(UatSystemTest, VictimCacheCornerCase)
+{
+    // VTE line in a core's L1 while the VTD entry is evicted: the
+    // directory eviction must pessimistically install the sharers.
+    Addr vte = table->vteAddrOf(vma);
+    uat->csrFile(5).ucid = pd;
+    uat->dataAccess(5, vma, Perm::r());
+    uat->vtd().remove(vte); // simulate VTD capacity eviction
+    coherence->evictDirectory(vte);
+    auto sharers = uat->vtd().sharers(vte);
+    ASSERT_TRUE(sharers.has_value());
+    EXPECT_TRUE(sharers->test(5));
+    uat->csrFile(5).ucid = 0;
+}
+
+TEST_F(UatSystemTest, ShootdownLatencySampled)
+{
+    Addr vte = table->vteAddrOf(vma);
+    uat->csrFile(9).ucid = pd;
+    uat->dataAccess(9, vma, Perm::r());
+    uat->csrFile(9).ucid = 0;
+    auto before = uat->shootdownLatency().count();
+    uat->vteWrite(0, vte);
+    EXPECT_EQ(uat->shootdownLatency().count(), before + 1);
+    EXPECT_GT(uat->shootdownLatency().max(), 0.0);
+}
+
+} // namespace

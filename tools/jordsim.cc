@@ -1,0 +1,221 @@
+/**
+ * @file
+ * jordsim: command-line driver for one-off simulation runs.
+ *
+ * Runs a (workload, system, load) combination on a configurable machine
+ * and prints either a human-readable report or CSV for scripting:
+ *
+ *     jordsim --workload Hipster --system Jord --mrps 4.0
+ *     jordsim --workload Media --system NightCore --requests 50000 --csv
+ *     jordsim --workload Hotel --sweep 0.5:9:12   # load sweep + SLO knee
+ *
+ * Flags:
+ *   --workload NAME    Hipster | Hotel | Media | Social  (default Hipster)
+ *   --system NAME      Jord | JordNI | JordBT | NightCore (default Jord)
+ *   --mrps X           offered load in MRPS               (default 1.0)
+ *   --requests N       external requests                  (default 20000)
+ *   --cores N          machine size                       (default 32)
+ *   --sockets N        socket count                       (default 1)
+ *   --orchestrators N  orchestrator threads               (default 4)
+ *   --seed N           RNG seed                           (default 42)
+ *   --sweep LO:HI:N    sweep N loads in [LO, HI] and report the SLO knee
+ *   --csv              machine-readable output
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sim/logging.hh"
+#include "workloads/sweep.hh"
+#include "workloads/workloads.hh"
+
+using namespace jord;
+using runtime::RunResult;
+using runtime::SystemKind;
+using runtime::WorkerConfig;
+using runtime::WorkerServer;
+
+namespace {
+
+SystemKind
+parseSystem(const std::string &name)
+{
+    if (name == "Jord")
+        return SystemKind::Jord;
+    if (name == "JordNI")
+        return SystemKind::JordNI;
+    if (name == "JordBT")
+        return SystemKind::JordBT;
+    if (name == "NightCore")
+        return SystemKind::NightCore;
+    sim::fatal("unknown system '%s' (Jord|JordNI|JordBT|NightCore)",
+               name.c_str());
+}
+
+struct Options {
+    std::string workload = "Hipster";
+    std::string system = "Jord";
+    double mrps = 1.0;
+    std::uint64_t requests = 20000;
+    unsigned cores = 32;
+    unsigned sockets = 1;
+    unsigned orchestrators = 4;
+    std::uint64_t seed = 42;
+    bool csv = false;
+    bool sweep = false;
+    double sweepLo = 0, sweepHi = 0;
+    unsigned sweepN = 0;
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i, const char *flag) -> const char * {
+        if (i + 1 >= argc)
+            sim::fatal("%s requires a value", flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--workload")
+            opt.workload = need(i, "--workload");
+        else if (arg == "--system")
+            opt.system = need(i, "--system");
+        else if (arg == "--mrps")
+            opt.mrps = std::strtod(need(i, "--mrps"), nullptr);
+        else if (arg == "--requests")
+            opt.requests =
+                std::strtoull(need(i, "--requests"), nullptr, 10);
+        else if (arg == "--cores")
+            opt.cores = static_cast<unsigned>(
+                std::strtoul(need(i, "--cores"), nullptr, 10));
+        else if (arg == "--sockets")
+            opt.sockets = static_cast<unsigned>(
+                std::strtoul(need(i, "--sockets"), nullptr, 10));
+        else if (arg == "--orchestrators")
+            opt.orchestrators = static_cast<unsigned>(
+                std::strtoul(need(i, "--orchestrators"), nullptr, 10));
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
+        else if (arg == "--csv")
+            opt.csv = true;
+        else if (arg == "--sweep") {
+            const char *spec = need(i, "--sweep");
+            if (std::sscanf(spec, "%lf:%lf:%u", &opt.sweepLo,
+                            &opt.sweepHi, &opt.sweepN) != 3)
+                sim::fatal("--sweep expects LO:HI:N, got '%s'", spec);
+            opt.sweep = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("see the header of tools/jordsim.cc\n");
+            std::exit(0);
+        } else {
+            sim::fatal("unknown flag '%s' (try --help)", arg.c_str());
+        }
+    }
+    return opt;
+}
+
+WorkerConfig
+makeWorkerConfig(const Options &opt)
+{
+    WorkerConfig cfg;
+    if (opt.cores != 32 || opt.sockets != 1)
+        cfg.machine = sim::MachineConfig::scaled(opt.cores, opt.sockets);
+    cfg.system = parseSystem(opt.system);
+    cfg.numOrchestrators = opt.orchestrators;
+    cfg.seed = opt.seed;
+    return cfg;
+}
+
+int
+runOnce(const Options &opt)
+{
+    workloads::Workload w = workloads::makeByName(opt.workload);
+    WorkerServer worker(makeWorkerConfig(opt), w.registry);
+    RunResult res = worker.run(opt.mrps, opt.requests, w.mix);
+
+    if (opt.csv) {
+        std::printf("workload,system,offered_mrps,achieved_mrps,"
+                    "mean_us,p50_us,p99_us,invocations,utilization\n");
+        std::printf("%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%.4f\n",
+                    opt.workload.c_str(), opt.system.c_str(), opt.mrps,
+                    res.achievedMrps, res.latencyUs.mean(),
+                    res.latencyUs.p50(), res.latencyUs.p99(),
+                    static_cast<unsigned long long>(res.invocations),
+                    res.executorUtilization);
+        return 0;
+    }
+
+    std::printf("%s on %s @ %.2f MRPS offered\n", opt.workload.c_str(),
+                opt.system.c_str(), opt.mrps);
+    std::printf("  achieved     %.2f MRPS\n", res.achievedMrps);
+    std::printf("  latency      %.2f us mean, %.2f us p50, "
+                "%.2f us p99\n",
+                res.latencyUs.mean(), res.latencyUs.p50(),
+                res.latencyUs.p99());
+    std::printf("  service      %.2f us mean per invocation\n",
+                res.serviceUs.mean());
+    std::printf("  invocations  %llu (%.2f per request)\n",
+                static_cast<unsigned long long>(res.invocations),
+                static_cast<double>(res.invocations) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(1,
+                                                res.completedRequests)));
+    std::printf("  utilization  %.0f%% of %u executors\n",
+                100.0 * res.executorUtilization, worker.numExecutors());
+    double ghz = worker.config().machine.freqGhz;
+    std::printf("  overheads    isolation %.0f ns/inv, dispatch %.0f "
+                "ns/req, pipes %.0f ns/inv\n",
+                sim::cyclesToNs(res.totals.isolation, ghz) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        1, res.invocations)),
+                res.dispatchNs.mean(),
+                sim::cyclesToNs(res.totals.pipe, ghz) /
+                    static_cast<double>(std::max<std::uint64_t>(
+                        1, res.invocations)));
+    return 0;
+}
+
+int
+runSweep(const Options &opt)
+{
+    workloads::Workload w = workloads::makeByName(opt.workload);
+    workloads::SweepConfig cfg;
+    cfg.worker = makeWorkerConfig(opt);
+    cfg.requestsPerPoint = opt.requests;
+    double slo_us = workloads::measureSloUs(w, cfg);
+    auto loads =
+        workloads::loadSeries(opt.sweepLo, opt.sweepHi, opt.sweepN);
+    workloads::SweepResult res = workloads::sweepLoad(
+        w, parseSystem(opt.system), loads, slo_us, cfg);
+
+    if (opt.csv) {
+        std::printf("offered_mrps,achieved_mrps,p99_us,meets_slo\n");
+        for (const auto &point : res.points)
+            std::printf("%.4f,%.4f,%.4f,%d\n", point.offeredMrps,
+                        point.achievedMrps, point.p99Us,
+                        point.meetsSlo ? 1 : 0);
+        return 0;
+    }
+    std::printf("%s on %s, SLO = %.1f us\n", opt.workload.c_str(),
+                opt.system.c_str(), slo_us);
+    for (const auto &point : res.points)
+        std::printf("  %7.2f MRPS -> %7.2f achieved, p99 %8.1f us %s\n",
+                    point.offeredMrps, point.achievedMrps, point.p99Us,
+                    point.meetsSlo ? "" : " (over SLO)");
+    std::printf("throughput under SLO: %.2f MRPS\n",
+                res.throughputUnderSlo);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parseArgs(argc, argv);
+    return opt.sweep ? runSweep(opt) : runOnce(opt);
+}
