@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/coldstart_compare.cc" "bench/CMakeFiles/coldstart_compare.dir/coldstart_compare.cc.o" "gcc" "bench/CMakeFiles/coldstart_compare.dir/coldstart_compare.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/jord_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jord_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/jord_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jord_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/privlib/CMakeFiles/jord_privlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jord_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/uat/CMakeFiles/jord_uat.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/jord_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/jord_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jord_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

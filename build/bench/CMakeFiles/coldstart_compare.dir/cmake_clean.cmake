@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coldstart_compare.dir/coldstart_compare.cc.o"
+  "CMakeFiles/coldstart_compare.dir/coldstart_compare.cc.o.d"
+  "coldstart_compare"
+  "coldstart_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coldstart_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

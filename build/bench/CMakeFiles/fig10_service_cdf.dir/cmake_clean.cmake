@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_service_cdf.dir/fig10_service_cdf.cc.o"
+  "CMakeFiles/fig10_service_cdf.dir/fig10_service_cdf.cc.o.d"
+  "fig10_service_cdf"
+  "fig10_service_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_service_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

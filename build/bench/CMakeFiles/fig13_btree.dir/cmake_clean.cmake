@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_btree.dir/fig13_btree.cc.o"
+  "CMakeFiles/fig13_btree.dir/fig13_btree.cc.o.d"
+  "fig13_btree"
+  "fig13_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_scalability.dir/fig14_scalability.cc.o"
+  "CMakeFiles/fig14_scalability.dir/fig14_scalability.cc.o.d"
+  "fig14_scalability"
+  "fig14_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_p99_vs_load.dir/fig9_p99_vs_load.cc.o"
+  "CMakeFiles/fig9_p99_vs_load.dir/fig9_p99_vs_load.cc.o.d"
+  "fig9_p99_vs_load"
+  "fig9_p99_vs_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_p99_vs_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

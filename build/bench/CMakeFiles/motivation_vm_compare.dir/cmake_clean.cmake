@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_vm_compare.dir/motivation_vm_compare.cc.o"
+  "CMakeFiles/motivation_vm_compare.dir/motivation_vm_compare.cc.o.d"
+  "motivation_vm_compare"
+  "motivation_vm_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_vm_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

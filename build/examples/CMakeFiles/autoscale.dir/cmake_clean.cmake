@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscale.dir/autoscale.cpp.o"
+  "CMakeFiles/autoscale.dir/autoscale.cpp.o.d"
+  "autoscale"
+  "autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

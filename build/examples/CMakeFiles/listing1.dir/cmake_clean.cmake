@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing1.dir/listing1.cpp.o"
+  "CMakeFiles/listing1.dir/listing1.cpp.o.d"
+  "listing1"
+  "listing1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jord_mem.dir/coherence.cc.o"
+  "CMakeFiles/jord_mem.dir/coherence.cc.o.d"
+  "libjord_mem.a"
+  "libjord_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jord_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

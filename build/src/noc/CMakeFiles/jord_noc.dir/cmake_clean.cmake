@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jord_noc.dir/mesh.cc.o"
+  "CMakeFiles/jord_noc.dir/mesh.cc.o.d"
+  "libjord_noc.a"
+  "libjord_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jord_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jord_os.dir/kernel.cc.o"
+  "CMakeFiles/jord_os.dir/kernel.cc.o.d"
+  "libjord_os.a"
+  "libjord_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jord_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jord_privlib.dir/privlib.cc.o"
+  "CMakeFiles/jord_privlib.dir/privlib.cc.o.d"
+  "libjord_privlib.a"
+  "libjord_privlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jord_privlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

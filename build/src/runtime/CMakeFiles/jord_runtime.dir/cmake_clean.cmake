@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jord_runtime.dir/autoscaler.cc.o"
+  "CMakeFiles/jord_runtime.dir/autoscaler.cc.o.d"
+  "CMakeFiles/jord_runtime.dir/builder.cc.o"
+  "CMakeFiles/jord_runtime.dir/builder.cc.o.d"
+  "CMakeFiles/jord_runtime.dir/registry.cc.o"
+  "CMakeFiles/jord_runtime.dir/registry.cc.o.d"
+  "CMakeFiles/jord_runtime.dir/worker.cc.o"
+  "CMakeFiles/jord_runtime.dir/worker.cc.o.d"
+  "libjord_runtime.a"
+  "libjord_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jord_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jord_runtime.
+# This may be replaced when dependencies are built.

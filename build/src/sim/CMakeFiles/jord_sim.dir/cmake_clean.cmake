@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jord_sim.dir/event_queue.cc.o"
+  "CMakeFiles/jord_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/jord_sim.dir/logging.cc.o"
+  "CMakeFiles/jord_sim.dir/logging.cc.o.d"
+  "CMakeFiles/jord_sim.dir/machine.cc.o"
+  "CMakeFiles/jord_sim.dir/machine.cc.o.d"
+  "CMakeFiles/jord_sim.dir/rng.cc.o"
+  "CMakeFiles/jord_sim.dir/rng.cc.o.d"
+  "libjord_sim.a"
+  "libjord_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jord_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jord_stats.dir/histogram.cc.o"
+  "CMakeFiles/jord_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/jord_stats.dir/sampler.cc.o"
+  "CMakeFiles/jord_stats.dir/sampler.cc.o.d"
+  "CMakeFiles/jord_stats.dir/table.cc.o"
+  "CMakeFiles/jord_stats.dir/table.cc.o.d"
+  "libjord_stats.a"
+  "libjord_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jord_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uat/btree_table.cc" "src/uat/CMakeFiles/jord_uat.dir/btree_table.cc.o" "gcc" "src/uat/CMakeFiles/jord_uat.dir/btree_table.cc.o.d"
+  "/root/repo/src/uat/size_class.cc" "src/uat/CMakeFiles/jord_uat.dir/size_class.cc.o" "gcc" "src/uat/CMakeFiles/jord_uat.dir/size_class.cc.o.d"
+  "/root/repo/src/uat/uat_system.cc" "src/uat/CMakeFiles/jord_uat.dir/uat_system.cc.o" "gcc" "src/uat/CMakeFiles/jord_uat.dir/uat_system.cc.o.d"
+  "/root/repo/src/uat/vlb.cc" "src/uat/CMakeFiles/jord_uat.dir/vlb.cc.o" "gcc" "src/uat/CMakeFiles/jord_uat.dir/vlb.cc.o.d"
+  "/root/repo/src/uat/vma_table.cc" "src/uat/CMakeFiles/jord_uat.dir/vma_table.cc.o" "gcc" "src/uat/CMakeFiles/jord_uat.dir/vma_table.cc.o.d"
+  "/root/repo/src/uat/vtd.cc" "src/uat/CMakeFiles/jord_uat.dir/vtd.cc.o" "gcc" "src/uat/CMakeFiles/jord_uat.dir/vtd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/jord_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/jord_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jord_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/jord_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

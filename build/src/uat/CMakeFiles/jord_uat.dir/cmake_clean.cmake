@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jord_uat.dir/btree_table.cc.o"
+  "CMakeFiles/jord_uat.dir/btree_table.cc.o.d"
+  "CMakeFiles/jord_uat.dir/size_class.cc.o"
+  "CMakeFiles/jord_uat.dir/size_class.cc.o.d"
+  "CMakeFiles/jord_uat.dir/uat_system.cc.o"
+  "CMakeFiles/jord_uat.dir/uat_system.cc.o.d"
+  "CMakeFiles/jord_uat.dir/vlb.cc.o"
+  "CMakeFiles/jord_uat.dir/vlb.cc.o.d"
+  "CMakeFiles/jord_uat.dir/vma_table.cc.o"
+  "CMakeFiles/jord_uat.dir/vma_table.cc.o.d"
+  "CMakeFiles/jord_uat.dir/vtd.cc.o"
+  "CMakeFiles/jord_uat.dir/vtd.cc.o.d"
+  "libjord_uat.a"
+  "libjord_uat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jord_uat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

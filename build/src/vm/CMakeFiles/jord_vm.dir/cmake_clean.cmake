@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jord_vm.dir/page_table.cc.o"
+  "CMakeFiles/jord_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/jord_vm.dir/posix_vm.cc.o"
+  "CMakeFiles/jord_vm.dir/posix_vm.cc.o.d"
+  "CMakeFiles/jord_vm.dir/tlb.cc.o"
+  "CMakeFiles/jord_vm.dir/tlb.cc.o.d"
+  "CMakeFiles/jord_vm.dir/walker.cc.o"
+  "CMakeFiles/jord_vm.dir/walker.cc.o.d"
+  "libjord_vm.a"
+  "libjord_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jord_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jord_workloads.dir/sweep.cc.o"
+  "CMakeFiles/jord_workloads.dir/sweep.cc.o.d"
+  "CMakeFiles/jord_workloads.dir/workloads.cc.o"
+  "CMakeFiles/jord_workloads.dir/workloads.cc.o.d"
+  "libjord_workloads.a"
+  "libjord_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jord_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

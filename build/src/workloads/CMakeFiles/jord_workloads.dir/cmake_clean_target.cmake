@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjord_workloads.a"
+)

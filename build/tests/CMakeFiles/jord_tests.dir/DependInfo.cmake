@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_autoscaler.cc" "tests/CMakeFiles/jord_tests.dir/test_autoscaler.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_autoscaler.cc.o.d"
+  "/root/repo/tests/test_builder.cc" "tests/CMakeFiles/jord_tests.dir/test_builder.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_builder.cc.o.d"
+  "/root/repo/tests/test_coherence.cc" "tests/CMakeFiles/jord_tests.dir/test_coherence.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_coherence.cc.o.d"
+  "/root/repo/tests/test_event_queue.cc" "tests/CMakeFiles/jord_tests.dir/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_event_queue.cc.o.d"
+  "/root/repo/tests/test_fuzz_isolation.cc" "tests/CMakeFiles/jord_tests.dir/test_fuzz_isolation.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_fuzz_isolation.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/jord_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_mesh.cc" "tests/CMakeFiles/jord_tests.dir/test_mesh.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_mesh.cc.o.d"
+  "/root/repo/tests/test_misc_coverage.cc" "tests/CMakeFiles/jord_tests.dir/test_misc_coverage.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_misc_coverage.cc.o.d"
+  "/root/repo/tests/test_os_baseline.cc" "tests/CMakeFiles/jord_tests.dir/test_os_baseline.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_os_baseline.cc.o.d"
+  "/root/repo/tests/test_page_table.cc" "tests/CMakeFiles/jord_tests.dir/test_page_table.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_page_table.cc.o.d"
+  "/root/repo/tests/test_privlib.cc" "tests/CMakeFiles/jord_tests.dir/test_privlib.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_privlib.cc.o.d"
+  "/root/repo/tests/test_rng_stats.cc" "tests/CMakeFiles/jord_tests.dir/test_rng_stats.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_rng_stats.cc.o.d"
+  "/root/repo/tests/test_runtime.cc" "tests/CMakeFiles/jord_tests.dir/test_runtime.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_runtime.cc.o.d"
+  "/root/repo/tests/test_security.cc" "tests/CMakeFiles/jord_tests.dir/test_security.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_security.cc.o.d"
+  "/root/repo/tests/test_size_class.cc" "tests/CMakeFiles/jord_tests.dir/test_size_class.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_size_class.cc.o.d"
+  "/root/repo/tests/test_smoke.cc" "tests/CMakeFiles/jord_tests.dir/test_smoke.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_smoke.cc.o.d"
+  "/root/repo/tests/test_tlb_vm.cc" "tests/CMakeFiles/jord_tests.dir/test_tlb_vm.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_tlb_vm.cc.o.d"
+  "/root/repo/tests/test_uat_system.cc" "tests/CMakeFiles/jord_tests.dir/test_uat_system.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_uat_system.cc.o.d"
+  "/root/repo/tests/test_vlb_vtd.cc" "tests/CMakeFiles/jord_tests.dir/test_vlb_vtd.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_vlb_vtd.cc.o.d"
+  "/root/repo/tests/test_vma_table.cc" "tests/CMakeFiles/jord_tests.dir/test_vma_table.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_vma_table.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/jord_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/jord_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/jord_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/jord_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/jord_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/privlib/CMakeFiles/jord_privlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/jord_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/uat/CMakeFiles/jord_uat.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jord_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/jord_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/jord_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jord_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jord_tests.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jordsim.dir/jordsim.cc.o"
+  "CMakeFiles/jordsim.dir/jordsim.cc.o.d"
+  "jordsim"
+  "jordsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jordsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
