@@ -11,15 +11,59 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 
 #include "mem/coherence.hh"
 #include "noc/mesh.hh"
 #include "os/kernel.hh"
 #include "privlib/privlib.hh"
+#include "stats/sampler.hh"
 #include "uat/btree_table.hh"
 #include "uat/uat_system.hh"
 
 namespace jord::bench {
+
+/** Default untimed iterations to warm caches and free lists. */
+inline constexpr unsigned kWarmupIters = 32;
+
+/**
+ * Warm measurement loop: calls @p op `warmup + iters` times, passing a
+ * `measured` flag that turns true once the warmup is done. The body
+ * records into caller-owned stats::Samplers only when the flag is set,
+ * so multi-op loops (mmap/munmap pairs, triples) share one shape.
+ */
+template <typename Op>
+void
+warmIters(unsigned iters, unsigned warmup, Op &&op)
+{
+    for (unsigned i = 0; i < warmup + iters; ++i)
+        op(i >= warmup);
+}
+
+/**
+ * Measure one operation warm: @p op returns its per-call cycle cost;
+ * the returned sampler holds the `iters` post-warmup samples.
+ */
+template <typename Op>
+stats::Sampler
+sampleOp(unsigned iters, Op &&op, unsigned warmup = kWarmupIters)
+{
+    stats::Sampler sampler;
+    warmIters(iters, warmup, [&](bool measured) {
+        sim::Cycles cost = op();
+        if (measured)
+            sampler.record(static_cast<double>(cost));
+    });
+    return sampler;
+}
+
+/** Mean of a cycles-valued sampler, converted to nanoseconds. */
+inline double
+meanNs(const stats::Sampler &sampler,
+       double ghz = sim::kDefaultFreqGhz)
+{
+    return sim::cyclesToNs(sampler.mean(), ghz);
+}
 
 /** A self-contained Jord hardware/software stack on one machine. */
 struct Stack {

@@ -9,60 +9,35 @@
  * time, with dispatch+isolation ~11% of Jord's service time except for
  * ReadPage's >100-way fan-out, and NightCore's overhead exceeding its
  * execution time for most functions (3x for RP).
+ *
+ * The numbers come from the src/trace subsystem: each run is traced and
+ * the per-function means are recomputed from the span stream by
+ * trace::analyzeSpans — the same analysis `trace_report` applies to an
+ * exported trace file.
  */
 
 #include <cstdlib>
 
 #include "bench/common.hh"
 #include "stats/table.hh"
+#include "trace/breakdown.hh"
+#include "trace/trace.hh"
 #include "workloads/workloads.hh"
 
 using namespace jord;
-using runtime::Breakdown;
-using runtime::RunResult;
 using runtime::SystemKind;
 using runtime::WorkerConfig;
 using runtime::WorkerServer;
 
 namespace {
 
-/** Per-selected-function measurement for one system. */
-struct FnRow {
-    double serviceUs = 0;
-    double execUs = 0;
-    double isolationUs = 0;
-    double dispatchUs = 0;
-    double commUs = 0;
-    double pipeUs = 0;
-    double queueUs = 0;
-};
-
-FnRow
-measure(const RunResult &res, runtime::FunctionId fn, double ghz)
+const trace::BreakdownRow *
+rowById(const trace::BreakdownReport &report, runtime::FunctionId fn)
 {
-    FnRow row;
-    std::uint64_t n = res.perFunctionCount[fn];
-    if (n == 0)
-        return row;
-    const Breakdown &bd = res.perFunctionBreakdown[fn];
-    auto us = [&](sim::Cycles c) {
-        return sim::cyclesToUs(static_cast<double>(c) /
-                                   static_cast<double>(n) * ghz,
-                               ghz) /
-               ghz; // cycles -> us via mean
-    };
-    (void)us;
-    auto mean_us = [&](std::uint64_t c) {
-        return sim::cyclesToUs(c, ghz) / static_cast<double>(n);
-    };
-    row.serviceUs = res.perFunctionServiceUs[fn].mean();
-    row.execUs = mean_us(bd.exec);
-    row.isolationUs = mean_us(bd.isolation);
-    row.dispatchUs = mean_us(bd.dispatch);
-    row.commUs = mean_us(bd.comm);
-    row.pipeUs = mean_us(bd.pipe);
-    row.queueUs = mean_us(bd.queue);
-    return row;
+    for (const trace::BreakdownRow &row : report.rows)
+        if (row.fnId == static_cast<std::int32_t>(fn))
+            return &row;
+    return nullptr;
 }
 
 } // namespace
@@ -94,30 +69,31 @@ main()
             WorkerConfig cfg;
             cfg.system = system;
             WorkerServer worker(cfg, w.registry);
+            trace::Tracer tracer(cfg.machine.freqGhz);
+            worker.setTracer(&tracer);
             // Compare at comparable utilization: NightCore saturates
             // far earlier, so it runs at a quarter of Jord's load.
             double load = system == SystemKind::NightCore
                               ? loads[wi] / 4.0
                               : loads[wi];
-            RunResult res = worker.run(load, requests, w.mix);
-            double ghz = cfg.machine.freqGhz;
+            worker.run(load, requests, w.mix);
+            worker.setTracer(nullptr);
+            trace::BreakdownReport report =
+                trace::analyzeSpans(tracer);
             for (const auto &[abbr, fn] : w.selected) {
-                FnRow row = measure(res, fn, ghz);
-                double overhead = row.isolationUs + row.dispatchUs +
-                                  row.pipeUs;
-                double pct = row.serviceUs > 0
-                                 ? 100.0 * overhead / row.serviceUs
-                                 : 0;
+                const trace::BreakdownRow *row = rowById(report, fn);
+                if (!row)
+                    continue;
                 table.addRow(
                     {abbr, systemName(system),
-                     stats::Table::cell(row.serviceUs, "%.2f"),
-                     stats::Table::cell(row.execUs, "%.2f"),
-                     stats::Table::cell(row.isolationUs, "%.3f"),
-                     stats::Table::cell(row.dispatchUs, "%.3f"),
-                     stats::Table::cell(row.commUs, "%.3f"),
-                     stats::Table::cell(row.pipeUs, "%.2f"),
-                     stats::Table::cell(row.queueUs, "%.2f"),
-                     stats::Table::cell(pct, "%.1f")});
+                     stats::Table::cell(row->serviceUs, "%.2f"),
+                     stats::Table::cell(row->execUs, "%.2f"),
+                     stats::Table::cell(row->isolationUs, "%.3f"),
+                     stats::Table::cell(row->dispatchUs, "%.3f"),
+                     stats::Table::cell(row->commUs, "%.3f"),
+                     stats::Table::cell(row->pipeUs, "%.2f"),
+                     stats::Table::cell(row->queueUs, "%.2f"),
+                     stats::Table::cell(row->overheadPct(), "%.1f")});
             }
         }
     }

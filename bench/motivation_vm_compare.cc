@@ -17,16 +17,6 @@
 
 using namespace jord;
 
-namespace {
-
-double
-toNs(sim::Cycles cycles)
-{
-    return sim::cyclesToNs(cycles);
-}
-
-} // namespace
-
 int
 main()
 {
@@ -42,33 +32,34 @@ main()
     constexpr std::uint64_t kBytes = 16 << 10;
 
     // --- OS path -------------------------------------------------------
-    sim::Cycles os_mmap = 0, os_mprotect = 0, os_munmap = 0;
-    for (unsigned i = 0; i < kIters; ++i) {
+    stats::Sampler os_mmap, os_mprotect, os_munmap;
+    bench::warmIters(kIters, 0, [&](bool) {
         vm::VmOpResult m = posix.mmap(0, kBytes, vm::PagePerms::rw());
         if (!m.ok)
             sim::fatal("posix mmap failed");
         vm::VmOpResult p = posix.mprotect(0, m.addr, kBytes,
                                           vm::PagePerms::ro());
         vm::VmOpResult u = posix.munmap(0, m.addr, kBytes);
-        os_mmap += m.latency;
-        os_mprotect += p.latency;
-        os_munmap += u.latency;
-    }
+        os_mmap.record(static_cast<double>(m.latency));
+        os_mprotect.record(static_cast<double>(p.latency));
+        os_munmap.record(static_cast<double>(u.latency));
+    });
 
     // --- Jord path ------------------------------------------------------
+    // Warm the free lists as a real worker would before sampling.
     privlib::PrivLib &pl = *jord_stack.privlib;
-    sim::Cycles jd_mmap = 0, jd_mprotect = 0, jd_munmap = 0;
-    for (unsigned i = 0; i < kIters + 32; ++i) {
+    stats::Sampler jd_mmap, jd_mprotect, jd_munmap;
+    bench::warmIters(kIters, bench::kWarmupIters, [&](bool measured) {
         privlib::PrivResult m = pl.mmap(0, kBytes, uat::Perm::rw());
         privlib::PrivResult p =
             pl.mprotect(0, m.value, kBytes, uat::Perm::r());
         privlib::PrivResult u = pl.munmap(0, m.value, kBytes);
-        if (i < 32)
-            continue; // warm the free lists as a real worker would
-        jd_mmap += m.latency;
-        jd_mprotect += p.latency;
-        jd_munmap += u.latency;
-    }
+        if (!measured)
+            return;
+        jd_mmap.record(static_cast<double>(m.latency));
+        jd_mprotect.record(static_cast<double>(p.latency));
+        jd_munmap.record(static_cast<double>(u.latency));
+    });
 
     stats::Table table({"Operation (16 KB)", "OS page-based (ns)",
                         "Jord UAT (ns)", "Speedup"});
@@ -78,10 +69,10 @@ main()
         double jord_ns;
     };
     const Row rows[] = {
-        {"mmap", toNs(os_mmap / kIters), toNs(jd_mmap / kIters)},
-        {"mprotect", toNs(os_mprotect / kIters),
-         toNs(jd_mprotect / kIters)},
-        {"munmap", toNs(os_munmap / kIters), toNs(jd_munmap / kIters)},
+        {"mmap", bench::meanNs(os_mmap), bench::meanNs(jd_mmap)},
+        {"mprotect", bench::meanNs(os_mprotect),
+         bench::meanNs(jd_mprotect)},
+        {"munmap", bench::meanNs(os_munmap), bench::meanNs(jd_munmap)},
     };
     for (const Row &row : rows) {
         table.addRow({row.name, stats::Table::cell(row.os_ns, "%.0f"),

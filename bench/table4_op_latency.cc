@@ -10,8 +10,6 @@
  * identical between the two models.
  */
 
-#include <functional>
-
 #include "sim/logging.hh"
 
 #include "bench/common.hh"
@@ -22,19 +20,6 @@ using bench::Stack;
 using privlib::PrivResult;
 
 namespace {
-
-/** Average latency (cycles) of @p op over @p iters warm iterations. */
-double
-measure(unsigned iters, const std::function<sim::Cycles()> &op)
-{
-    // Warm up caches and free lists.
-    for (unsigned i = 0; i < 32; ++i)
-        op();
-    std::uint64_t total = 0;
-    for (unsigned i = 0; i < iters; ++i)
-        total += op();
-    return static_cast<double>(total) / iters;
-}
 
 struct Row {
     const char *name;
@@ -60,92 +45,87 @@ measureAll(Stack &stack)
     if (!vma.ok)
         sim::fatal("table4: mmap failed");
     sim::Addr vte_addr = stack.table->vteAddrOf(vma.value);
-    ns.push_back(
-        sim::cyclesToNs(measure(kIters,
-                                [&] {
-                                    stack.uat->dvlb(kCore).invalidateVte(
-                                        vte_addr);
-                                    // Keep the VTE line warm in the L1.
-                                    stack.coherence->read(kCore, vte_addr,
-                                                          true);
-                                    uat::UatAccess acc =
-                                        stack.uat->dataAccess(
-                                            kCore, vma.value,
-                                            uat::Perm::r());
-                                    if (!acc.ok())
-                                        sim::fatal("lookup fault");
-                                    return acc.latency;
-                                }),
-                        ghz));
+    ns.push_back(bench::meanNs(
+        bench::sampleOp(kIters,
+                        [&] {
+                            stack.uat->dvlb(kCore).invalidateVte(
+                                vte_addr);
+                            // Keep the VTE line warm in the L1.
+                            stack.coherence->read(kCore, vte_addr,
+                                                  true);
+                            uat::UatAccess acc = stack.uat->dataAccess(
+                                kCore, vma.value, uat::Perm::r());
+                            if (!acc.ok())
+                                sim::fatal("lookup fault");
+                            return acc.latency;
+                        }),
+        ghz));
 
     // --- VMA update: mprotect on a warm VMA.
     bool flip = false;
-    ns.push_back(sim::cyclesToNs(
-        measure(kIters,
-                [&] {
-                    flip = !flip;
-                    PrivResult res = pl.mprotect(
-                        kCore, vma.value, 4096,
-                        flip ? uat::Perm::r() : uat::Perm::rw());
-                    if (!res.ok)
-                        sim::fatal("mprotect failed");
-                    return res.latency;
-                }),
+    ns.push_back(bench::meanNs(
+        bench::sampleOp(kIters,
+                        [&] {
+                            flip = !flip;
+                            PrivResult res = pl.mprotect(
+                                kCore, vma.value, 4096,
+                                flip ? uat::Perm::r()
+                                     : uat::Perm::rw());
+                            if (!res.ok)
+                                sim::fatal("mprotect failed");
+                            return res.latency;
+                        }),
         ghz));
 
     // --- VMA insertion + deletion: steady-state mmap/munmap pairs.
-    sim::Cycles insert_total = 0, delete_total = 0;
-    for (unsigned i = 0; i < 32 + kIters; ++i) {
+    stats::Sampler insert, remove;
+    bench::warmIters(kIters, bench::kWarmupIters, [&](bool measured) {
         PrivResult m = pl.mmap(kCore, 4096, uat::Perm::rw());
         if (!m.ok)
             sim::fatal("mmap failed");
         PrivResult u = pl.munmap(kCore, m.value, 4096);
         if (!u.ok)
             sim::fatal("munmap failed");
-        if (i >= 32) {
-            insert_total += m.latency;
-            delete_total += u.latency;
+        if (measured) {
+            insert.record(static_cast<double>(m.latency));
+            remove.record(static_cast<double>(u.latency));
         }
-    }
-    ns.push_back(sim::cyclesToNs(
-        static_cast<double>(insert_total) / kIters, ghz));
-    ns.push_back(sim::cyclesToNs(
-        static_cast<double>(delete_total) / kIters, ghz));
+    });
+    ns.push_back(bench::meanNs(insert, ghz));
+    ns.push_back(bench::meanNs(remove, ghz));
 
     // --- PD creation + deletion: cget/cput pairs.
-    sim::Cycles cget_total = 0, cput_total = 0;
-    for (unsigned i = 0; i < 32 + kIters; ++i) {
+    stats::Sampler create, destroy;
+    bench::warmIters(kIters, bench::kWarmupIters, [&](bool measured) {
         PrivResult g = pl.cget(kCore);
         if (!g.ok)
             sim::fatal("cget failed");
-        PrivResult p = pl.cput(kCore,
-                               static_cast<uat::PdId>(g.value));
+        PrivResult p = pl.cput(kCore, static_cast<uat::PdId>(g.value));
         if (!p.ok)
             sim::fatal("cput failed");
-        if (i >= 32) {
-            cget_total += g.latency;
-            cput_total += p.latency;
+        if (measured) {
+            create.record(static_cast<double>(g.latency));
+            destroy.record(static_cast<double>(p.latency));
         }
-    }
-    ns.push_back(sim::cyclesToNs(
-        static_cast<double>(cget_total) / kIters, ghz));
-    ns.push_back(sim::cyclesToNs(
-        static_cast<double>(cput_total) / kIters, ghz));
+    });
+    ns.push_back(bench::meanNs(create, ghz));
+    ns.push_back(bench::meanNs(destroy, ghz));
 
     // --- PD switching: ccall into a live PD (paired cexit to restore).
     PrivResult pd = pl.cget(kCore);
     if (!pd.ok)
         sim::fatal("cget failed");
-    ns.push_back(sim::cyclesToNs(
-        measure(kIters,
-                [&] {
-                    PrivResult c = pl.ccall(
-                        kCore, static_cast<uat::PdId>(pd.value));
-                    if (!c.ok)
-                        sim::fatal("ccall failed");
-                    pl.cexit(kCore);
-                    return c.latency;
-                }),
+    ns.push_back(bench::meanNs(
+        bench::sampleOp(kIters,
+                        [&] {
+                            PrivResult c = pl.ccall(
+                                kCore,
+                                static_cast<uat::PdId>(pd.value));
+                            if (!c.ok)
+                                sim::fatal("ccall failed");
+                            pl.cexit(kCore);
+                            return c.latency;
+                        }),
         ghz));
 
     return ns;

@@ -1,8 +1,11 @@
 #include "privlib/privlib.hh"
 
 #include <algorithm>
+#include <iterator>
+#include <string>
 
 #include "sim/logging.hh"
+#include "trace/metrics.hh"
 
 namespace jord::privlib {
 
@@ -118,6 +121,28 @@ PrivLib::account(PrivOp op, Cycles latency)
     OpStats &entry = stats_[static_cast<unsigned>(op)];
     ++entry.count;
     entry.cycles += latency;
+    unsigned idx = static_cast<unsigned>(op);
+    if (opCalls_[idx])
+        opCalls_[idx]->add();
+    if (opCycles_[idx])
+        opCycles_[idx]->add(latency);
+}
+
+void
+PrivLib::attachMetrics(trace::MetricsRegistry &registry)
+{
+    static constexpr const char *kOpNames[] = {
+        "mmap", "munmap", "mprotect", "pmove", "pcopy",
+        "cget", "cput",   "ccall",    "center", "cexit",
+    };
+    static_assert(std::size(kOpNames) ==
+                  static_cast<unsigned>(PrivOp::NumOps));
+    for (unsigned op = 0; op < static_cast<unsigned>(PrivOp::NumOps);
+         ++op) {
+        std::string base = std::string("privlib.") + kOpNames[op];
+        opCalls_[op] = &registry.counter(base + ".calls");
+        opCycles_[op] = &registry.counter(base + ".cycles");
+    }
 }
 
 void

@@ -30,6 +30,11 @@
 #include "uat/uat_system.hh"
 #include "uat/vma_table.hh"
 
+namespace jord::trace {
+class Counter;
+class MetricsRegistry;
+} // namespace jord::trace
+
 namespace jord::privlib {
 
 /** Result of a PrivLib call. */
@@ -173,6 +178,13 @@ class PrivLib
     }
     void resetStats();
 
+    /**
+     * Register per-op call counters (`privlib.<op>.calls`) and cycle
+     * totals (`privlib.<op>.cycles`) into @p registry (must outlive
+     * this object); account() feeds them alongside the OpStats.
+     */
+    void attachMetrics(trace::MetricsRegistry &registry);
+
     /** Cycles spent in VMA-management ops (Fig. 13 comparison). */
     std::uint64_t vmaManagementCycles() const;
 
@@ -229,6 +241,11 @@ class PrivLib
     /** Per-core stack of suspended domains (ccall/cexit nesting). */
     std::vector<std::vector<uat::PdId>> domainStack_;
     std::array<OpStats, static_cast<unsigned>(PrivOp::NumOps)> stats_{};
+    /** Registry mirrors of stats_ (null when metrics not attached). */
+    std::array<trace::Counter *,
+               static_cast<unsigned>(PrivOp::NumOps)> opCalls_{};
+    std::array<trace::Counter *,
+               static_cast<unsigned>(PrivOp::NumOps)> opCycles_{};
     sim::Addr privCodeBase_ = 0;
     sim::Addr privDataBase_ = 0;
 

@@ -45,6 +45,8 @@ struct Request {
     unsigned orch = 0;
     /** Counts toward metrics (post-warmup root request). */
     bool measured = false;
+    /** Lifecycle span covering arrival -> response (0 = not traced). */
+    std::uint32_t span = 0;
 };
 
 /** A completed child's response, waiting to be consumed by the parent. */
@@ -91,6 +93,8 @@ struct Invocation {
     sim::Tick serviceStart = 0; ///< dequeued by the executor
     sim::Tick suspendedAt = 0;
     Breakdown bd;
+    /** Invoke span covering the service window (0 = not traced). */
+    std::uint32_t span = 0;
 };
 
 } // namespace jord::runtime

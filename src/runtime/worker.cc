@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "sim/logging.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace jord::runtime {
 
@@ -18,6 +21,17 @@ constexpr Addr kQueueLineBase = 0x5000'0000'0000ull;
 constexpr Cycles kQueueOpCycles = 6;
 /** Orchestrator bookkeeping per completed request. */
 constexpr Cycles kCompletionCycles = 20;
+
+/** Span attribution for a request. */
+trace::SpanArgs
+spanArgs(const Request &req)
+{
+    trace::SpanArgs args;
+    args.req = req.id;
+    args.fn = static_cast<std::int32_t>(req.fn);
+    args.measured = req.measured;
+    return args;
+}
 } // namespace
 
 WorkerServer::WorkerServer(WorkerConfig cfg, FunctionRegistry registry)
@@ -125,6 +139,70 @@ WorkerServer::WorkerServer(WorkerConfig cfg, FunctionRegistry registry)
 
 WorkerServer::~WorkerServer() = default;
 
+// --- Observability ----------------------------------------------------------
+
+void
+WorkerServer::setTracer(trace::Tracer *tracer)
+{
+    tracer_ = tracer;
+    uat_->setTracer(tracer);
+    if (!tracer)
+        return;
+    tracer->setClock([this] { return events_.curTick(); });
+    tracer->setMeta("system", systemName(cfg_.system));
+    tracer->setMeta("seed", std::to_string(cfg_.seed));
+    for (const OrchState &o : orchs_)
+        tracer->setTrackName(o.core, "core " + std::to_string(o.core) +
+                                         " (orchestrator)");
+    for (const ExecState &e : execs_)
+        tracer->setTrackName(e.core, "core " + std::to_string(e.core) +
+                                         " (executor)");
+}
+
+void
+WorkerServer::attachMetrics(trace::MetricsRegistry &registry)
+{
+    metrics_.externalRequests =
+        &registry.counter("runtime.requests.external");
+    metrics_.completedRequests =
+        &registry.counter("runtime.requests.completed");
+    metrics_.invocations = &registry.counter("runtime.invocations");
+    metrics_.dispatches = &registry.counter("runtime.dispatch.count");
+    metrics_.dispatchScanNs =
+        &registry.distribution("runtime.dispatch.scan_ns");
+    metrics_.serviceNs = &registry.distribution("runtime.service_ns");
+    metrics_.busyExecutors = &registry.gauge("runtime.executors.busy");
+    metrics_.liveInvocations =
+        &registry.gauge("runtime.invocations.live");
+    privlib_->attachMetrics(registry);
+    uat_->attachMetrics(registry);
+}
+
+void
+WorkerServer::traceSpan(const char *name, trace::Category category,
+                        unsigned core, Tick start, Cycles dur,
+                        const Invocation &inv)
+{
+    tracer_->complete(name, category, core, start, dur, inv.span,
+                      spanArgs(inv.req));
+}
+
+void
+WorkerServer::noteExecBusy(bool busy)
+{
+    if (metrics_.busyExecutors)
+        metrics_.busyExecutors->add(busy ? 1.0 : -1.0,
+                                    events_.curTick());
+}
+
+void
+WorkerServer::noteLiveInvocations()
+{
+    if (metrics_.liveInvocations)
+        metrics_.liveInvocations->set(
+            static_cast<double>(live_.size()), events_.curTick());
+}
+
 // --- Load generation -------------------------------------------------------
 
 FunctionId
@@ -163,6 +241,15 @@ WorkerServer::onExternalArrival()
     req.measured = generated_ >= warmupRequests_;
     ++generated_;
     rrOrch_ = (rrOrch_ + 1) % orchs_.size();
+    if (metrics_.externalRequests)
+        metrics_.externalRequests->add();
+    if (tracer_) {
+        // The request lifecycle span stays open until the orchestrator
+        // processes the response; nested invoke spans parent into it.
+        req.span = tracer_->begin(spec.name, trace::Category::Request,
+                                  orchs_[req.orch].core,
+                                  events_.curTick(), 0, spanArgs(req));
+    }
     orchEnqueue(req.orch, std::move(req));
     scheduleNextArrival();
 }
@@ -255,7 +342,12 @@ WorkerServer::orchDispatchStep(unsigned orch)
                 result_->latencyUs.record(us);
                 ++result_->completedRequests;
             }
+            if (tracer_ && inv.req.span)
+                tracer_->end(inv.req.span, events_.curTick() + busy);
+            if (metrics_.completedRequests)
+                metrics_.completedRequests->add();
             live_.erase(it);
+            noteLiveInvocations();
         }
         progressed = true;
     } else {
@@ -265,10 +357,12 @@ WorkerServer::orchDispatchStep(unsigned orch)
         std::deque<Request> &queue = internal ? o.internal : o.external;
         if (!queue.empty()) {
             Request &req = queue.front();
+            Tick base = events_.curTick();
 
             // External intake: materialise the request's ArgBuf.
             if (!internal && req.argBuf == 0 &&
                 cfg_.system != SystemKind::NightCore) {
+                Cycles intake_start = busy;
                 privlib::PrivResult res = privlib_->mmap(
                     o.core, req.argBytes, uat::Perm::rw());
                 if (!res.ok)
@@ -279,6 +373,12 @@ WorkerServer::orchDispatchStep(unsigned orch)
                 busy += res.latency;
                 busy += touchArgBuf(o.core, req.argBuf, req.argBytes,
                                     true);
+                if (tracer_)
+                    tracer_->complete("argbuf.intake",
+                                      trace::Category::Runtime, o.core,
+                                      base + intake_start,
+                                      busy - intake_start, req.span,
+                                      spanArgs(req));
             }
 
             unsigned chosen = 0;
@@ -298,6 +398,27 @@ WorkerServer::orchDispatchStep(unsigned orch)
             if (result_ && out.measured && !out.internal) {
                 result_->dispatchNs.record(
                     sim::cyclesToNs(scan, cfg_.machine.freqGhz));
+            }
+            if (metrics_.dispatches)
+                metrics_.dispatches->add();
+            if (metrics_.dispatchScanNs)
+                metrics_.dispatchScanNs->record(
+                    static_cast<std::uint64_t>(sim::cyclesToNs(
+                        scan, cfg_.machine.freqGhz)));
+            if (tracer_) {
+                // Mirrors the bd.dispatch charge the invocation will
+                // take in its prologue (scan + queue push).
+                trace::SpanId parent = out.span;
+                if (out.internal) {
+                    auto pit = live_.find(out.parent);
+                    if (pit != live_.end())
+                        parent = pit->second->span;
+                }
+                tracer_->complete("dispatch",
+                                  trace::Category::Dispatch, o.core,
+                                  base + busy - scan,
+                                  scan + kQueueOpCycles, parent,
+                                  spanArgs(out));
             }
             if (cfg_.system == SystemKind::NightCore) {
                 busy += cfg_.pipeCosts.sendBusy(out.argBytes);
@@ -353,6 +474,7 @@ WorkerServer::execStep(unsigned exec)
             sim::panic("resumable invocation %llu vanished",
                        static_cast<unsigned long long>(id));
         e.busy = true;
+        noteExecBusy(true);
         resumeInvocation(exec, *it->second);
         return;
     }
@@ -361,6 +483,7 @@ WorkerServer::execStep(unsigned exec)
         e.queue.pop_front();
         markDirty(e);
         e.busy = true;
+        noteExecBusy(true);
         startInvocation(exec, std::move(req));
         return;
     }
@@ -410,7 +533,7 @@ WorkerServer::touchArgBuf(unsigned core, Addr va, std::uint64_t bytes,
 }
 
 Cycles
-WorkerServer::invocationPrologue(Invocation &inv)
+WorkerServer::invocationPrologue(Invocation &inv, Tick at)
 {
     const FunctionSpec &spec = registry_.at(inv.req.fn).spec;
     Addr code_vma = registry_.at(inv.req.fn).codeVma;
@@ -463,8 +586,12 @@ WorkerServer::invocationPrologue(Invocation &inv)
             sim::panic("ccall failed: %s", uat::faultName(cc.fault));
         busy += cc.latency;
         inv.bd.isolation += busy - kQueueOpCycles;
+        if (tracer_)
+            traceSpan("pd_setup", trace::Category::Isolation, core,
+                      at + kQueueOpCycles, busy - kQueueOpCycles, inv);
 
         // Enter the function: I-VLB fetch + read the input ArgBuf.
+        Cycles comm_start = busy;
         uat::UatAccess fn_fetch = uat_->fetch(core, code_vma);
         if (!fn_fetch.ok())
             sim::panic("function fetch fault: %s",
@@ -474,6 +601,9 @@ WorkerServer::invocationPrologue(Invocation &inv)
                                   false);
         busy += comm;
         inv.bd.comm += comm + fn_fetch.latency;
+        if (tracer_)
+            traceSpan("argbuf.read", trace::Category::Comm, core,
+                      at + comm_start, busy - comm_start, inv);
         break;
       }
       case SystemKind::JordNI: {
@@ -487,12 +617,19 @@ WorkerServer::invocationPrologue(Invocation &inv)
         inv.stackHeapVma = sh.value;
         busy += sh.latency;
         inv.bd.isolation += sh.latency;
+        if (tracer_)
+            traceSpan("vma_setup", trace::Category::Isolation, core,
+                      at + busy - sh.latency, sh.latency, inv);
+        Cycles comm_start = busy;
         uat::UatAccess fn_fetch = uat_->fetch(core, code_vma);
         busy += fn_fetch.latency;
         Cycles comm = touchArgBuf(core, inv.req.argBuf, inv.req.argBytes,
                                   false);
         busy += comm;
         inv.bd.comm += comm + fn_fetch.latency;
+        if (tracer_)
+            traceSpan("argbuf.read", trace::Category::Comm, core,
+                      at + comm_start, busy - comm_start, inv);
         break;
       }
       case SystemKind::NightCore: {
@@ -502,11 +639,18 @@ WorkerServer::invocationPrologue(Invocation &inv)
             // Scale out: prepare another worker for this function.
             ++ntcProvisioned_[fn];
             busy += cfg_.provisioning.provisionCycles;
+            if (tracer_)
+                traceSpan("provision", trace::Category::Runtime, core,
+                          at + busy - cfg_.provisioning.provisionCycles,
+                          cfg_.provisioning.provisionCycles, inv);
         }
         Cycles pipe = cfg_.pipeCosts.recvBusy(inv.req.argBytes) +
                       cfg_.pipeCosts.recvLatency();
         busy += pipe;
         inv.bd.pipe += pipe;
+        if (tracer_)
+            traceSpan("pipe.recv", trace::Category::Pipe, core,
+                      at + busy - pipe, pipe, inv);
         break;
       }
     }
@@ -537,7 +681,7 @@ WorkerServer::pickOrch(unsigned socket)
 
 Cycles
 WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
-                         Cycles offset)
+                         Cycles offset, Tick at)
 {
     unsigned core = coreOfExec(inv.exec);
     Cycles busy = 0;
@@ -571,11 +715,17 @@ WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
         child.argBuf = ab.value;
         busy += ab.latency;
         inv.bd.isolation += ab.latency + gate.latency;
+        if (tracer_)
+            traceSpan("child_argbuf", trace::Category::Isolation, core,
+                      at, ab.latency + gate.latency, inv);
 
         Cycles comm = touchArgBuf(core, child.argBuf, call.argBytes,
                                   true);
         busy += comm;
         inv.bd.comm += comm;
+        if (tracer_)
+            traceSpan("argbuf.write", trace::Category::Comm, core,
+                      at + busy - comm, comm, inv);
         // The permission stays with this PD; the child's executor
         // transfers it directly into the child's PD at dispatch.
         child.argOwner = inv.pd;
@@ -593,16 +743,25 @@ WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
         child.argBuf = ab.value;
         busy += ab.latency;
         inv.bd.isolation += ab.latency;
+        if (tracer_)
+            traceSpan("child_argbuf", trace::Category::Isolation, core,
+                      at, ab.latency, inv);
         Cycles comm = touchArgBuf(core, child.argBuf, call.argBytes,
                                   true);
         busy += comm;
         inv.bd.comm += comm;
+        if (tracer_)
+            traceSpan("argbuf.write", trace::Category::Comm, core,
+                      at + busy - comm, comm, inv);
         break;
       }
       case SystemKind::NightCore: {
         Cycles pipe = cfg_.pipeCosts.sendBusy(call.argBytes);
         busy += pipe;
         inv.bd.pipe += pipe;
+        if (tracer_)
+            traceSpan("pipe.send", trace::Category::Pipe, core, at,
+                      pipe, inv);
         break;
       }
     }
@@ -620,10 +779,13 @@ WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
 }
 
 Cycles
-WorkerServer::consumeChildResults(Invocation &inv)
+WorkerServer::consumeChildResults(Invocation &inv, Tick at)
 {
     unsigned core = coreOfExec(inv.exec);
     Cycles busy = 0;
+    Cycles iso_total = 0;
+    Cycles comm_total = 0;
+    Cycles pipe_total = 0;
     // The children's epilogues already returned each ArgBuf permission
     // to this PD; re-enter the domain, then read + free every response.
     if (isolated() && !inv.childResults.empty()) {
@@ -632,6 +794,7 @@ WorkerServer::consumeChildResults(Invocation &inv)
             sim::panic("center failed: %s", uat::faultName(ce.fault));
         busy += ce.latency;
         inv.bd.isolation += ce.latency;
+        iso_total += ce.latency;
     }
     for (ChildResult &result : inv.childResults) {
         switch (cfg_.system) {
@@ -642,6 +805,7 @@ WorkerServer::consumeChildResults(Invocation &inv)
                                       result.argBytes, false);
             busy += comm;
             inv.bd.comm += comm;
+            comm_total += comm;
             privlib::PrivResult un = privlib_->munmap(
                 core, result.argBuf, result.argBytes);
             if (!un.ok)
@@ -649,22 +813,37 @@ WorkerServer::consumeChildResults(Invocation &inv)
                            uat::faultName(un.fault));
             busy += un.latency;
             inv.bd.isolation += un.latency;
+            iso_total += un.latency;
             break;
           }
           case SystemKind::NightCore: {
             Cycles pipe = cfg_.pipeCosts.recvBusy(result.argBytes);
             busy += pipe;
             inv.bd.pipe += pipe;
+            pipe_total += pipe;
             break;
           }
         }
+    }
+    if (tracer_ && !inv.childResults.empty()) {
+        // One composite span per category (center + per-child munmap /
+        // reads interleave; the totals are exact, the layout is not).
+        if (iso_total)
+            traceSpan("join.isolation", trace::Category::Isolation,
+                      core, at, iso_total, inv);
+        if (comm_total)
+            traceSpan("join.read", trace::Category::Comm, core,
+                      at + iso_total, comm_total, inv);
+        if (pipe_total)
+            traceSpan("join.pipe", trace::Category::Pipe, core, at,
+                      pipe_total, inv);
     }
     inv.childResults.clear();
     return busy;
 }
 
 Cycles
-WorkerServer::invocationEpilogue(Invocation &inv)
+WorkerServer::invocationEpilogue(Invocation &inv, Tick at)
 {
     unsigned core = coreOfExec(inv.exec);
     Cycles busy = 0;
@@ -678,6 +857,9 @@ WorkerServer::invocationEpilogue(Invocation &inv)
                                   true);
         busy += comm;
         inv.bd.comm += comm;
+        if (tracer_)
+            traceSpan("argbuf.respond", trace::Category::Comm, core,
+                      at, comm, inv);
 
         uat::UatAccess gate = uat_->fetch(core, privlib_->privCodeBase());
         busy += gate.latency;
@@ -725,6 +907,9 @@ WorkerServer::invocationEpilogue(Invocation &inv)
         busy += put.latency;
         iso += put.latency;
         inv.bd.isolation += iso;
+        if (tracer_)
+            traceSpan("pd_teardown", trace::Category::Isolation, core,
+                      at + busy - iso, iso, inv);
         break;
       }
       case SystemKind::JordNI: {
@@ -732,6 +917,9 @@ WorkerServer::invocationEpilogue(Invocation &inv)
                                   true);
         busy += comm;
         inv.bd.comm += comm;
+        if (tracer_)
+            traceSpan("argbuf.respond", trace::Category::Comm, core,
+                      at, comm, inv);
         privlib::PrivResult un = privlib_->munmap(
             core, inv.stackHeapVma,
             registry_.at(inv.req.fn).spec.stackHeapBytes);
@@ -739,12 +927,18 @@ WorkerServer::invocationEpilogue(Invocation &inv)
             sim::panic("NI stack/heap munmap failed");
         busy += un.latency;
         inv.bd.isolation += un.latency;
+        if (tracer_)
+            traceSpan("vma_teardown", trace::Category::Isolation, core,
+                      at + busy - un.latency, un.latency, inv);
         break;
       }
       case SystemKind::NightCore: {
         Cycles pipe = cfg_.pipeCosts.sendBusy(inv.req.argBytes);
         busy += pipe;
         inv.bd.pipe += pipe;
+        if (tracer_)
+            traceSpan("pipe.respond", trace::Category::Pipe, core, at,
+                      pipe, inv);
         break;
       }
     }
@@ -753,7 +947,7 @@ WorkerServer::invocationEpilogue(Invocation &inv)
 }
 
 Cycles
-WorkerServer::runUntilBlocked(Invocation &inv)
+WorkerServer::runUntilBlocked(Invocation &inv, Tick at)
 {
     const FunctionSpec &spec = registry_.at(inv.req.fn).spec;
     unsigned core = coreOfExec(inv.exec);
@@ -772,12 +966,17 @@ WorkerServer::runUntilBlocked(Invocation &inv)
                                uat::faultName(ex.fault));
                 busy += ex.latency;
                 inv.bd.isolation += ex.latency;
+                if (tracer_)
+                    traceSpan("suspend.cexit",
+                              trace::Category::Isolation, core,
+                              at + busy - ex.latency, ex.latency, inv);
             }
             inv.state = InvState::Suspended;
             inv.resumeThreshold = 0;
             return busy;
         }
 
+        Cycles seg_start = busy;
         Cycles seg = inv.segments[i];
         busy += seg;
         inv.bd.exec += seg;
@@ -795,10 +994,13 @@ WorkerServer::runUntilBlocked(Invocation &inv)
             busy += s.latency + h.latency;
             inv.bd.exec += s.latency + h.latency;
         }
+        if (tracer_)
+            traceSpan("exec", trace::Category::Exec, core,
+                      at + seg_start, busy - seg_start, inv);
 
         if (i < num_calls) {
             const CallSpec &call = spec.calls[i];
-            busy += issueChild(inv, call, busy);
+            busy += issueChild(inv, call, busy, at + busy);
             inv.nextCall = i + 1;
             if (call.sync) {
                 // jord::call: suspend until this child completes.
@@ -810,6 +1012,10 @@ WorkerServer::runUntilBlocked(Invocation &inv)
                     iso = ex.latency;
                     busy += iso;
                     inv.bd.isolation += iso;
+                    if (tracer_)
+                        traceSpan("suspend.cexit",
+                                  trace::Category::Isolation, core,
+                                  at + busy - iso, iso, inv);
                 }
                 inv.state = InvState::Suspended;
                 inv.resumeThreshold = inv.pendingChildren - 1;
@@ -820,7 +1026,7 @@ WorkerServer::runUntilBlocked(Invocation &inv)
         }
     }
 
-    busy += invocationEpilogue(inv);
+    busy += invocationEpilogue(inv, at + busy);
     inv.state = InvState::Done;
     return busy;
 }
@@ -834,6 +1040,22 @@ WorkerServer::startInvocation(unsigned exec, Request req)
     inv.exec = exec;
     inv.serviceStart = events_.curTick();
     live_[inv.req.id] = std::move(owned);
+    noteLiveInvocations();
+    if (tracer_) {
+        // Parent the invoke span under the request span (external) or
+        // the parent's invoke span (nested ccall), building the
+        // per-request span tree across the nested call chain.
+        trace::SpanId parent = inv.req.span;
+        if (inv.req.internal) {
+            auto pit = live_.find(inv.req.parent);
+            if (pit != live_.end())
+                parent = pit->second->span;
+        }
+        inv.span = tracer_->begin(registry_.at(inv.req.fn).spec.name,
+                                  trace::Category::Invoke,
+                                  coreOfExec(exec), inv.serviceStart,
+                                  parent, spanArgs(inv.req));
+    }
 
     const FunctionSpec &spec = registry_.at(inv.req.fn).spec;
     Cycles total = drawExec(spec);
@@ -863,13 +1085,15 @@ WorkerServer::startInvocation(unsigned exec, Request req)
         inv.segments[segs - 1] = total - used;
     }
 
-    Cycles busy = invocationPrologue(inv);
-    busy += runUntilBlocked(inv);
+    Tick base = events_.curTick();
+    Cycles busy = invocationPrologue(inv, base);
+    busy += runUntilBlocked(inv, base + busy);
 
     events_.scheduleAfter(std::max<Cycles>(busy, 1),
                           [this, exec, id = inv.req.id] {
                               ExecState &e = execs_[exec];
                               e.busy = false;
+                              noteExecBusy(false);
                               auto it = live_.find(id);
                               if (it != live_.end() &&
                                   it->second->state == InvState::Done) {
@@ -892,13 +1116,15 @@ WorkerServer::resumeInvocation(unsigned exec, Invocation &inv)
     markDirty(e);
     inv.state = InvState::Running;
 
-    Cycles busy = consumeChildResults(inv);
-    busy += runUntilBlocked(inv);
+    Tick base = events_.curTick();
+    Cycles busy = consumeChildResults(inv, base);
+    busy += runUntilBlocked(inv, base + busy);
 
     events_.scheduleAfter(std::max<Cycles>(busy, 1),
                           [this, exec, id = inv.req.id] {
                               ExecState &ex = execs_[exec];
                               ex.busy = false;
+                              noteExecBusy(false);
                               auto it = live_.find(id);
                               if (it != live_.end() &&
                                   it->second->state == InvState::Done) {
@@ -915,6 +1141,10 @@ WorkerServer::resumeInvocation(unsigned exec, Invocation &inv)
 void
 WorkerServer::accountInvocation(Invocation &inv)
 {
+    if (metrics_.serviceNs && inv.req.measured)
+        metrics_.serviceNs->record(static_cast<std::uint64_t>(
+            sim::cyclesToNs(events_.curTick() - inv.serviceStart,
+                            cfg_.machine.freqGhz)));
     if (!result_ || !inv.req.measured)
         return;
     Cycles service = events_.curTick() - inv.serviceStart;
@@ -944,6 +1174,10 @@ WorkerServer::finishInvocation(Invocation &inv)
         // epilogue's costs were computed.
         --ntcConcurrency_[inv.req.fn];
     }
+    if (tracer_ && inv.span)
+        tracer_->end(inv.span, events_.curTick());
+    if (metrics_.invocations)
+        metrics_.invocations->add();
     accountInvocation(inv);
 
     unsigned core = coreOfExec(inv.exec);
@@ -959,6 +1193,7 @@ WorkerServer::finishInvocation(Invocation &inv)
                                        noc::MsgKind::Control) +
                         kQueueOpCycles;
         live_.erase(inv.req.id);
+        noteLiveInvocations();
         events_.scheduleAfter(notify, [this, parent, result] {
             auto it = live_.find(parent);
             if (it == live_.end())

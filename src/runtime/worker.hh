@@ -31,6 +31,15 @@
 #include "uat/btree_table.hh"
 #include "uat/uat_system.hh"
 
+namespace jord::trace {
+enum class Category : std::uint8_t;
+class Counter;
+class Distribution;
+class Gauge;
+class MetricsRegistry;
+class Tracer;
+} // namespace jord::trace
+
 namespace jord::runtime {
 
 /** Worker-server configuration. */
@@ -131,6 +140,23 @@ class WorkerServer
      */
     double measureDispatchScanNs();
 
+    /**
+     * Attach (or detach, with nullptr) a span tracer. The tracer's
+     * clock is bound to this worker's event queue; request/invocation
+     * lifecycle spans and per-category busy spans are emitted while
+     * attached. All instrumentation sites are null-checked, so a
+     * detached worker pays one predictable branch per site.
+     */
+    void setTracer(trace::Tracer *tracer);
+    trace::Tracer *tracer() const { return tracer_; }
+
+    /**
+     * Register this worker's counters/gauges/distributions (and those
+     * of its PrivLib and UAT) into @p registry. The registry must
+     * outlive the worker.
+     */
+    void attachMetrics(trace::MetricsRegistry &registry);
+
   private:
     struct ExecState {
         unsigned core = 0;
@@ -193,6 +219,20 @@ class WorkerServer
     /** Runtime (executor/orchestrator) code VMA for I-VLB behaviour. */
     sim::Addr runtimeCodeVma_ = 0;
 
+    // Optional observability hooks (all null when not attached).
+    trace::Tracer *tracer_ = nullptr;
+    struct RuntimeMetrics {
+        trace::Counter *externalRequests = nullptr;
+        trace::Counter *completedRequests = nullptr;
+        trace::Counter *invocations = nullptr;
+        trace::Counter *dispatches = nullptr;
+        trace::Distribution *dispatchScanNs = nullptr;
+        trace::Distribution *serviceNs = nullptr;
+        trace::Gauge *busyExecutors = nullptr;
+        trace::Gauge *liveInvocations = nullptr;
+    };
+    RuntimeMetrics metrics_;
+
     bool isJordFamily() const { return cfg_.system != SystemKind::NightCore; }
     bool isolated() const { return cfg_.system == SystemKind::Jord ||
                                    cfg_.system == SystemKind::JordBT; }
@@ -221,14 +261,16 @@ class WorkerServer
     /**
      * Run the invocation from its current point until it suspends or
      * finishes; returns busy cycles consumed. Child submissions are
-     * scheduled at their in-run offsets.
+     * scheduled at their in-run offsets. @p at is the simulated time at
+     * which this stretch of work begins (used only for span
+     * timestamps; scheduling is unchanged).
      */
-    sim::Cycles runUntilBlocked(Invocation &inv);
-    sim::Cycles invocationPrologue(Invocation &inv);
-    sim::Cycles invocationEpilogue(Invocation &inv);
+    sim::Cycles runUntilBlocked(Invocation &inv, sim::Tick at);
+    sim::Cycles invocationPrologue(Invocation &inv, sim::Tick at);
+    sim::Cycles invocationEpilogue(Invocation &inv, sim::Tick at);
     sim::Cycles issueChild(Invocation &inv, const CallSpec &call,
-                           sim::Cycles offset);
-    sim::Cycles consumeChildResults(Invocation &inv);
+                           sim::Cycles offset, sim::Tick at);
+    sim::Cycles consumeChildResults(Invocation &inv, sim::Tick at);
     void finishInvocation(Invocation &inv);
     void onChildComplete(Invocation &parent, ChildResult result);
 
@@ -238,6 +280,14 @@ class WorkerServer
     sim::Cycles drawExec(const FunctionSpec &spec);
     void accountInvocation(Invocation &inv);
     unsigned coreOfExec(unsigned exec) const { return execs_[exec].core; }
+
+    // --- Observability helpers (no-ops when hooks are detached) ---
+    /** Emit a closed category span attributed to @p inv. */
+    void traceSpan(const char *name, trace::Category category,
+                   unsigned core, sim::Tick start, sim::Cycles dur,
+                   const Invocation &inv);
+    void noteExecBusy(bool busy);
+    void noteLiveInvocations();
 };
 
 } // namespace jord::runtime

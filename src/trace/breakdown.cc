@@ -1,0 +1,261 @@
+#include "trace/breakdown.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include "stats/table.hh"
+
+namespace jord::trace {
+
+namespace {
+
+/** The five attributable categories, indexed 0..4. */
+constexpr unsigned kNumCats = 5;
+
+int
+catIndex(Category cat)
+{
+    switch (cat) {
+      case Category::Exec: return 0;
+      case Category::Isolation: return 1;
+      case Category::Dispatch: return 2;
+      case Category::Comm: return 3;
+      case Category::Pipe: return 4;
+      default: return -1;
+    }
+}
+
+/** One request's joined accounting while scanning the trace. */
+struct PerRequest {
+    double catUs[kNumCats] = {0, 0, 0, 0, 0};
+    double serviceUs = -1; ///< < 0 until the invoke span is seen
+    std::int32_t fn = -1;
+    std::string fnName;
+    bool measured = false;
+};
+
+/** Running per-function aggregate. */
+struct FnAgg {
+    std::string name;
+    std::uint64_t invocations = 0;
+    double serviceUs = 0;
+    double catUs[kNumCats] = {0, 0, 0, 0, 0};
+    double queueUs = 0;
+};
+
+BreakdownReport
+aggregate(const std::unordered_map<std::uint64_t, PerRequest> &reqs,
+          std::map<std::string, std::string> meta)
+{
+    std::map<std::int32_t, FnAgg> byFn;
+    for (const auto &[req, pr] : reqs) {
+        (void)req;
+        // Only invocations that completed inside the measured window
+        // contribute, mirroring the runtime's accounting.
+        if (pr.serviceUs < 0 || !pr.measured)
+            continue;
+        FnAgg &agg = byFn[pr.fn];
+        if (agg.name.empty())
+            agg.name = pr.fnName;
+        ++agg.invocations;
+        agg.serviceUs += pr.serviceUs;
+        double accounted = 0;
+        for (unsigned c = 0; c < kNumCats; ++c) {
+            agg.catUs[c] += pr.catUs[c];
+            accounted += pr.catUs[c];
+        }
+        // Residual clamped per invocation, as the runtime does (the
+        // dispatch share accrues before the service window opens, so
+        // short invocations can be over-accounted).
+        if (pr.serviceUs > accounted)
+            agg.queueUs += pr.serviceUs - accounted;
+    }
+
+    BreakdownReport report;
+    report.meta = std::move(meta);
+    for (const auto &[fn, agg] : byFn) {
+        BreakdownRow row;
+        row.fn = agg.name;
+        row.fnId = fn;
+        row.invocations = agg.invocations;
+        double n = static_cast<double>(agg.invocations);
+        row.serviceUs = agg.serviceUs / n;
+        row.execUs = agg.catUs[0] / n;
+        row.isolationUs = agg.catUs[1] / n;
+        row.dispatchUs = agg.catUs[2] / n;
+        row.commUs = agg.catUs[3] / n;
+        row.pipeUs = agg.catUs[4] / n;
+        row.queueUs = agg.queueUs / n;
+        report.rows.push_back(std::move(row));
+    }
+    return report;
+}
+
+// --- Minimal extractors for our own line-oriented JSON ---------------
+
+/** Extract the numeric value following `"key":`; NAN-free: ok flag. */
+bool
+jsonNumber(const std::string &line, const char *key, double &out)
+{
+    std::size_t pos = line.find(key);
+    if (pos == std::string::npos)
+        return false;
+    out = std::strtod(line.c_str() + pos + std::strlen(key), nullptr);
+    return true;
+}
+
+/** Extract the string value following `"key":"` up to the next `"`. */
+bool
+jsonString(const std::string &line, const char *key, std::string &out)
+{
+    std::size_t pos = line.find(key);
+    if (pos == std::string::npos)
+        return false;
+    pos += std::strlen(key);
+    std::size_t end = line.find('"', pos);
+    if (end == std::string::npos)
+        return false;
+    out = line.substr(pos, end - pos);
+    return true;
+}
+
+} // namespace
+
+double
+BreakdownRow::overheadPct() const
+{
+    double overhead = isolationUs + dispatchUs + pipeUs;
+    return serviceUs > 0 ? 100.0 * overhead / serviceUs : 0;
+}
+
+const BreakdownRow *
+BreakdownReport::row(const std::string &fn) const
+{
+    for (const BreakdownRow &r : rows)
+        if (r.fn == fn)
+            return &r;
+    return nullptr;
+}
+
+BreakdownReport
+analyzeSpans(const Tracer &tracer)
+{
+    const double ticks_per_us = tracer.freqGhz() * 1000.0;
+    std::unordered_map<std::uint64_t, PerRequest> reqs;
+    for (const SpanRecord &rec : tracer.spans()) {
+        if (rec.open || rec.req == 0)
+            continue;
+        double dur_us =
+            static_cast<double>(rec.end - rec.start) / ticks_per_us;
+        PerRequest &pr = reqs[rec.req];
+        if (rec.cat == Category::Invoke) {
+            pr.serviceUs = dur_us;
+            pr.fn = rec.fn;
+            pr.fnName = tracer.spanName(rec);
+            pr.measured = rec.measured;
+        } else if (int c = catIndex(rec.cat); c >= 0) {
+            pr.catUs[c] += dur_us;
+        }
+    }
+    return aggregate(reqs, tracer.meta());
+}
+
+BreakdownReport
+analyzeChromeTrace(std::istream &in)
+{
+    std::unordered_map<std::uint64_t, PerRequest> reqs;
+    /** Open async ("b") events awaiting their "e", by span id. */
+    struct OpenAsync {
+        double tsUs = 0;
+        double req = 0;
+        double fn = -1;
+        std::string name;
+        bool measured = false;
+    };
+    std::unordered_map<std::uint64_t, OpenAsync> openAsync;
+    std::map<std::string, std::string> meta;
+
+    std::string line, ph, cat;
+    while (std::getline(in, line)) {
+        if (line.find("\"otherData\":{") != std::string::npos) {
+            std::string value;
+            for (const char *key : {"system", "workload", "freq_ghz",
+                                    "machine", "mrps", "seed"}) {
+                std::string pat = "\"" + std::string(key) + "\":\"";
+                if (jsonString(line, pat.c_str(), value))
+                    meta[key] = value;
+            }
+            continue;
+        }
+        if (!jsonString(line, "\"ph\":\"", ph))
+            continue;
+        if (ph == "X") {
+            double dur = 0, req = 0;
+            if (!jsonString(line, "\"cat\":\"", cat) ||
+                !jsonNumber(line, "\"dur\":", dur) ||
+                !jsonNumber(line, "\"req\":", req))
+                continue;
+            Category c;
+            if (!categoryFromName(cat, c) || catIndex(c) < 0)
+                continue;
+            PerRequest &pr = reqs[static_cast<std::uint64_t>(req)];
+            pr.catUs[catIndex(c)] += dur;
+        } else if (ph == "b") {
+            double id = 0, ts = 0;
+            if (!jsonString(line, "\"cat\":\"", cat) || cat != "invoke" ||
+                !jsonNumber(line, "\"id\":", id) ||
+                !jsonNumber(line, "\"ts\":", ts))
+                continue;
+            OpenAsync open;
+            open.tsUs = ts;
+            jsonNumber(line, "\"req\":", open.req);
+            jsonNumber(line, "\"fn\":", open.fn);
+            double measured = 0;
+            jsonNumber(line, "\"measured\":", measured);
+            open.measured = measured != 0;
+            jsonString(line, "\"name\":\"", open.name);
+            openAsync[static_cast<std::uint64_t>(id)] = open;
+        } else if (ph == "e") {
+            double id = 0, ts = 0;
+            if (!jsonNumber(line, "\"id\":", id) ||
+                !jsonNumber(line, "\"ts\":", ts))
+                continue;
+            auto it = openAsync.find(static_cast<std::uint64_t>(id));
+            if (it == openAsync.end())
+                continue;
+            const OpenAsync &open = it->second;
+            PerRequest &pr =
+                reqs[static_cast<std::uint64_t>(open.req)];
+            pr.serviceUs = ts - open.tsUs;
+            pr.fn = static_cast<std::int32_t>(open.fn);
+            pr.fnName = open.name;
+            pr.measured = open.measured;
+            openAsync.erase(it);
+        }
+    }
+    return aggregate(reqs, std::move(meta));
+}
+
+std::string
+renderBreakdown(const BreakdownReport &report)
+{
+    stats::Table table({"Fn", "Invocations", "Service (us)", "Exec (us)",
+                        "Isolation (us)", "Dispatch (us)", "Comm (us)",
+                        "Pipe (us)", "Wait (us)", "Overhead %"});
+    for (const BreakdownRow &row : report.rows) {
+        table.addRow({row.fn, stats::Table::cell(row.invocations),
+                      stats::Table::cell(row.serviceUs, "%.2f"),
+                      stats::Table::cell(row.execUs, "%.2f"),
+                      stats::Table::cell(row.isolationUs, "%.3f"),
+                      stats::Table::cell(row.dispatchUs, "%.3f"),
+                      stats::Table::cell(row.commUs, "%.3f"),
+                      stats::Table::cell(row.pipeUs, "%.2f"),
+                      stats::Table::cell(row.queueUs, "%.2f"),
+                      stats::Table::cell(row.overheadPct(), "%.1f")});
+    }
+    return table.render();
+}
+
+} // namespace jord::trace

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Trace exporters.
+ *
+ * writeChromeTrace() emits the Chrome trace-event JSON flavour that
+ * Perfetto and chrome://tracing load directly: one event object per
+ * line, timestamps in microseconds of *simulated* time. Busy-time
+ * spans (exec, isolation, dispatch, comm, pipe, hw) become complete
+ * ("X") events on their core's thread track; request and invocation
+ * lifecycle spans overlap arbitrarily, so they are emitted as async
+ * ("b"/"e") event pairs keyed by span id.
+ *
+ * The line-oriented layout is deliberate: tools/trace_report parses
+ * traces back with no JSON dependency, and byte-identical output for
+ * identical runs makes traces golden-testable.
+ */
+
+#ifndef JORD_TRACE_EXPORT_HH
+#define JORD_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace jord::trace {
+
+/** Write the full trace as Chrome trace-event JSON. */
+void writeChromeTrace(const Tracer &tracer, std::ostream &out);
+
+/** Convenience: the same JSON as a string (tests, small traces). */
+std::string chromeTraceJson(const Tracer &tracer);
+
+} // namespace jord::trace
+
+#endif // JORD_TRACE_EXPORT_HH

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 
 namespace jord::uat {
 
@@ -31,6 +33,19 @@ UatSystem::UatSystem(const sim::MachineConfig &cfg,
 UatSystem::~UatSystem()
 {
     coherence_.setTranslationObserver(nullptr);
+}
+
+void
+UatSystem::attachMetrics(trace::MetricsRegistry &registry)
+{
+    vlbHits_ = &registry.counter("uat.vlb.hits");
+    vlbMisses_ = &registry.counter("uat.vlb.misses");
+    vtwFaults_ = &registry.counter("uat.vtw.faults");
+    shootdowns_ = &registry.counter("uat.vtd.shootdowns");
+    shootdownsPessimistic_ =
+        &registry.counter("uat.vtd.shootdowns_pessimistic");
+    vtwWalkNs_ = &registry.distribution("uat.vtw.walk_ns");
+    shootdownNs_ = &registry.distribution("uat.vtd.shootdown_ns");
 }
 
 UatSystem::WalkOutcome
@@ -86,10 +101,22 @@ UatSystem::resolve(unsigned core, Addr va, Perm need, Vlb &vlb)
         entry = *hit;
         acc.vlbHit = true;
         // VLB probe overlaps the L1 access: no extra latency.
+        if (vlbHits_)
+            vlbHits_->add();
     } else {
+        if (vlbMisses_)
+            vlbMisses_->add();
         WalkOutcome walk = vtwWalk(core, va, pd, vlb);
         acc.latency += walk.latency;
+        if (tracer_)
+            tracer_->complete("vtw_walk", trace::Category::Hw, core,
+                              tracer_->now(), walk.latency);
+        if (vtwWalkNs_)
+            vtwWalkNs_->record(static_cast<std::uint64_t>(
+                sim::cyclesToNs(walk.latency, cfg_.freqGhz)));
         if (walk.fault != Fault::None) {
+            if (vtwFaults_)
+                vtwFaults_->add();
             acc.fault = walk.fault;
             return acc;
         }
@@ -222,6 +249,8 @@ UatSystem::translationWrite(unsigned core, Addr addr,
         // Untracked: fall back pessimistically to the directory sharers.
         targets = dir;
         vtd_.mutableStats().pessimistic++;
+        if (shootdownsPessimistic_)
+            shootdownsPessimistic_->add();
     }
     vtd_.remove(addr);
 
@@ -247,9 +276,18 @@ UatSystem::translationWrite(unsigned core, Addr addr,
     // issues an explicit fence; the fan-out latency itself is what
     // Fig. 14's "VLB shootdown" series reports. Writer-local refreshes
     // are not shootdowns and are not sampled.
-    if (full_worst > 0)
+    if (full_worst > 0) {
         shootdownLatency_.record(
             sim::cyclesToNs(full_worst, cfg_.freqGhz));
+        if (shootdowns_)
+            shootdowns_->add();
+        if (shootdownNs_)
+            shootdownNs_->record(static_cast<std::uint64_t>(
+                sim::cyclesToNs(full_worst, cfg_.freqGhz)));
+        if (tracer_)
+            tracer_->complete("vlb_shootdown", trace::Category::Hw,
+                              core, tracer_->now(), full_worst);
+    }
     return 0;
 }
 

@@ -24,6 +24,13 @@
 #include "uat/vma_table.hh"
 #include "uat/vtd.hh"
 
+namespace jord::trace {
+class Counter;
+class Distribution;
+class MetricsRegistry;
+class Tracer;
+} // namespace jord::trace
+
 namespace jord::uat {
 
 /** Extra VTW cycles beyond the table-block accesses (address
@@ -124,6 +131,16 @@ class UatSystem : public mem::TranslationObserver
     /** Per-shootdown fan-out latency samples (Fig. 14 series). */
     stats::Sampler &shootdownLatency() { return shootdownLatency_; }
 
+    // --- Observability -------------------------------------------------
+
+    /** Attach (or detach, with nullptr) a span tracer; VTW walks and
+     * VLB shootdowns are emitted as hardware spans while attached. */
+    void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
+
+    /** Register VLB/VTW/VTD counters into @p registry (must outlive
+     * this object). */
+    void attachMetrics(trace::MetricsRegistry &registry);
+
     // --- TranslationObserver ------------------------------------------
 
     void translationRead(unsigned core, sim::Addr addr) override;
@@ -144,6 +161,16 @@ class UatSystem : public mem::TranslationObserver
     std::vector<bool> pbit_;
     std::unordered_set<sim::Addr> gates_;
     stats::Sampler shootdownLatency_;
+
+    // Optional observability hooks (all null when not attached).
+    trace::Tracer *tracer_ = nullptr;
+    trace::Counter *vlbHits_ = nullptr;
+    trace::Counter *vlbMisses_ = nullptr;
+    trace::Counter *vtwFaults_ = nullptr;
+    trace::Counter *shootdowns_ = nullptr;
+    trace::Counter *shootdownsPessimistic_ = nullptr;
+    trace::Distribution *vtwWalkNs_ = nullptr;
+    trace::Distribution *shootdownNs_ = nullptr;
 
     struct WalkOutcome {
         sim::Cycles latency = 0;

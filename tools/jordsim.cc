@@ -20,14 +20,22 @@
  *   --seed N           RNG seed                           (default 42)
  *   --sweep LO:HI:N    sweep N loads in [LO, HI] and report the SLO knee
  *   --csv              machine-readable output
+ *   --trace-out FILE   write a Chrome trace-event / Perfetto JSON trace
+ *   --metrics-out FILE write the metrics registry as CSV
+ *
+ * --trace-out and --metrics-out also accept the --flag=value form.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "sim/logging.hh"
+#include "trace/export.hh"
+#include "trace/metrics.hh"
+#include "trace/trace.hh"
 #include "workloads/sweep.hh"
 #include "workloads/workloads.hh"
 
@@ -67,6 +75,8 @@ struct Options {
     bool sweep = false;
     double sweepLo = 0, sweepHi = 0;
     unsigned sweepN = 0;
+    std::string traceOut;
+    std::string metricsOut;
 };
 
 Options
@@ -80,6 +90,21 @@ parseArgs(int argc, char **argv)
     };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
+        // --flag=value form for the file-emitting flags.
+        if (std::size_t eq = arg.find('=');
+            eq != std::string::npos &&
+            (arg.compare(0, eq, "--trace-out") == 0 ||
+             arg.compare(0, eq, "--metrics-out") == 0)) {
+            std::string value = arg.substr(eq + 1);
+            if (value.empty())
+                sim::fatal("%s requires a value",
+                           arg.substr(0, eq).c_str());
+            if (arg.compare(0, eq, "--trace-out") == 0)
+                opt.traceOut = value;
+            else
+                opt.metricsOut = value;
+            continue;
+        }
         if (arg == "--workload")
             opt.workload = need(i, "--workload");
         else if (arg == "--system")
@@ -100,6 +125,10 @@ parseArgs(int argc, char **argv)
                 std::strtoul(need(i, "--orchestrators"), nullptr, 10));
         else if (arg == "--seed")
             opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
+        else if (arg == "--trace-out")
+            opt.traceOut = need(i, "--trace-out");
+        else if (arg == "--metrics-out")
+            opt.metricsOut = need(i, "--metrics-out");
         else if (arg == "--csv")
             opt.csv = true;
         else if (arg == "--sweep") {
@@ -134,8 +163,42 @@ int
 runOnce(const Options &opt)
 {
     workloads::Workload w = workloads::makeByName(opt.workload);
-    WorkerServer worker(makeWorkerConfig(opt), w.registry);
+    WorkerConfig cfg = makeWorkerConfig(opt);
+    WorkerServer worker(cfg, w.registry);
+
+    trace::Tracer tracer(cfg.machine.freqGhz);
+    trace::MetricsRegistry registry;
+    if (!opt.traceOut.empty()) {
+        worker.setTracer(&tracer);
+        char mrps[32];
+        std::snprintf(mrps, sizeof(mrps), "%.4f", opt.mrps);
+        tracer.setMeta("workload", opt.workload);
+        tracer.setMeta("mrps", mrps);
+        tracer.setMeta("machine",
+                       std::to_string(cfg.machine.numCores) + "c/" +
+                           std::to_string(cfg.machine.numSockets) + "s");
+    }
+    if (!opt.metricsOut.empty())
+        worker.attachMetrics(registry);
+
     RunResult res = worker.run(opt.mrps, opt.requests, w.mix);
+
+    if (!opt.traceOut.empty()) {
+        std::ofstream out(opt.traceOut);
+        if (!out)
+            sim::fatal("cannot open '%s'", opt.traceOut.c_str());
+        trace::writeChromeTrace(tracer, out);
+        std::fprintf(stderr, "wrote %zu spans to %s\n",
+                     tracer.numSpans(), opt.traceOut.c_str());
+    }
+    if (!opt.metricsOut.empty()) {
+        std::ofstream out(opt.metricsOut);
+        if (!out)
+            sim::fatal("cannot open '%s'", opt.metricsOut.c_str());
+        registry.writeCsv(out);
+        std::fprintf(stderr, "wrote %zu metrics to %s\n",
+                     registry.size(), opt.metricsOut.c_str());
+    }
 
     if (opt.csv) {
         std::printf("workload,system,offered_mrps,achieved_mrps,"
