@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Availability under injected faults: goodput and tail latency as the
+ * injected crash rate rises, with the failure-handling runtime enabled
+ * (per-request deadlines, bounded retries with exponential backoff, and
+ * admission-control shedding).
+ *
+ * Two sections:
+ *   1. Crash-rate sweep on Jord (Hotel): goodput, good-request P99, and
+ *      the terminal-outcome mix for each injected per-invocation crash
+ *      probability. Same-seed runs are deterministic, so the table is
+ *      byte-stable across invocations.
+ *   2. NightCore pipe-drop sweep: the same availability question for
+ *      the process-based baseline, whose failure mode is a dropped
+ *      gateway/engine pipe message rather than an in-PD crash.
+ *
+ * Flags: --quick shrinks the sweep for CI smoke runs.
+ * Environment knobs: JORD_FAULT_REQUESTS overrides requests per point.
+ */
+
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/common.hh"
+#include "fault/fault.hh"
+#include "stats/table.hh"
+#include "workloads/workloads.hh"
+
+using namespace jord;
+using runtime::RunResult;
+using runtime::SystemKind;
+using runtime::WorkerConfig;
+using runtime::WorkerServer;
+
+namespace {
+
+struct PointConfig {
+    double rate = 0;       ///< crash (Jord) or pipe-drop (NightCore)
+    double mrps = 1.5;
+    std::uint64_t requests = 12000;
+};
+
+RunResult
+runPoint(const workloads::Workload &w, SystemKind system,
+         const PointConfig &pc)
+{
+    WorkerConfig wc;
+    wc.system = system;
+    wc.timeoutUs = 300.0;
+    wc.maxRetries = 2;
+    wc.shedCap = 512;
+    wc.faultPlan.seed = 42;
+    if (system == SystemKind::NightCore)
+        wc.faultPlan.defaults.pipeDrop = pc.rate;
+    else
+        wc.faultPlan.defaults.crash = pc.rate;
+    WorkerServer worker(wc, w.registry);
+    return worker.run(pc.mrps, pc.requests, w.mix, 0.2);
+}
+
+void
+addRow(stats::Table &table, double rate, const RunResult &res)
+{
+    std::uint64_t measured = res.completedRequests + res.failedRequests +
+                             res.timedOutRequests + res.shedRequests;
+    double good_frac =
+        measured ? static_cast<double>(res.completedRequests) / measured
+                 : 0;
+    table.addRow({stats::Table::cell(rate, "%.3f"),
+                  stats::Table::cell(res.achievedMrps, "%.3f"),
+                  stats::Table::cell(100.0 * good_frac, "%.2f"),
+                  stats::Table::cell(res.latencyUs.p99(), "%.2f"),
+                  std::to_string(res.completedRequests),
+                  std::to_string(res.failedRequests),
+                  std::to_string(res.timedOutRequests),
+                  std::to_string(res.shedRequests),
+                  std::to_string(res.retries),
+                  std::to_string(res.faultsInjected)});
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--quick"))
+            quick = true;
+    }
+
+    PointConfig pc;
+    pc.requests = quick ? 3000 : 12000;
+    if (const char *env = std::getenv("JORD_FAULT_REQUESTS"))
+        pc.requests = std::strtoull(env, nullptr, 10);
+
+    std::vector<double> crash_rates =
+        quick ? std::vector<double>{0, 0.01, 0.05}
+              : std::vector<double>{0, 0.005, 0.01, 0.02, 0.05, 0.10};
+
+    workloads::Workload hotel = workloads::makeHotel();
+
+    const std::vector<std::string> cols = {
+        "Rate",    "Goodput (MRPS)", "Good %", "Good P99 (us)",
+        "Done",    "Failed",         "T/O",    "Shed",
+        "Retries", "Injected"};
+
+    bench::banner("Availability: Jord (Hotel), injected crash rate");
+    std::printf("timeout=300us, retries=2, backoff=20us, shed cap=512\n");
+    stats::Table jord_table(cols);
+    for (double rate : crash_rates) {
+        pc.rate = rate;
+        addRow(jord_table, rate, runPoint(hotel, SystemKind::Jord, pc));
+    }
+    std::printf("%s\n", jord_table.render().c_str());
+    std::printf(
+        "Expected shape: goodput degrades gracefully (retries absorb\n"
+        "most single-invocation crashes at low rates); no deadlock or\n"
+        "leak at any rate -- the run aborts if the quiescence checker\n"
+        "finds a leaked PD or ArgBuf.\n");
+
+    bench::banner("Availability: NightCore (Hotel), pipe-drop rate");
+    stats::Table ntc_table(cols);
+    std::vector<double> drop_rates =
+        quick ? std::vector<double>{0, 0.02}
+              : std::vector<double>{0, 0.01, 0.02, 0.05};
+    for (double rate : drop_rates) {
+        pc.rate = rate;
+        addRow(ntc_table, rate,
+               runPoint(hotel, SystemKind::NightCore, pc));
+    }
+    std::printf("%s\n", ntc_table.render().c_str());
+    std::printf(
+        "NightCore drops are detected at the gateway (send + recv\n"
+        "latency is still paid), so each drop costs a full pipe round\n"
+        "trip before the retry path engages.\n");
+    return 0;
+}

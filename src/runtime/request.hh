@@ -17,9 +17,32 @@
 #include <vector>
 
 #include "runtime/types.hh"
+#include "uat/fault.hh"
 #include "uat/vte.hh"
 
 namespace jord::runtime {
+
+/** How an invocation (or, transitively, a request) ended. */
+enum class Outcome : std::uint8_t {
+    Ok,          ///< completed normally
+    Crashed,     ///< injected crash mid-segment
+    Faulted,     ///< hardware fault (UAT permission violation)
+    ChildFailed, ///< a nested ccall failed; the failure propagated up
+    TimedOut,    ///< deadline expired before completion
+};
+
+inline const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Ok: return "ok";
+      case Outcome::Crashed: return "crashed";
+      case Outcome::Faulted: return "faulted";
+      case Outcome::ChildFailed: return "child_failed";
+      case Outcome::TimedOut: return "timed_out";
+    }
+    return "?";
+}
 
 /** A pending function-invocation request. */
 struct Request {
@@ -27,6 +50,13 @@ struct Request {
     FunctionId fn = 0;
     /** Entered the orchestrator (external) / was submitted (internal). */
     sim::Tick arrival = 0;
+    /** First arrival across retries (== arrival on attempt 0); the
+     * end-to-end latency of a retried request spans all attempts. */
+    sim::Tick firstArrival = 0;
+    /** Absolute deadline tick (0 = no deadline configured). */
+    sim::Tick deadline = 0;
+    /** Retry attempt (0 = first try). */
+    unsigned attempt = 0;
     /** Dispatch decision latency charged to this request (Fig. 11). */
     sim::Cycles dispatchCycles = 0;
     bool internal = false;
@@ -54,6 +84,9 @@ struct ChildResult {
     sim::Addr argBuf = 0;
     std::uint64_t argBytes = 0;
     unsigned producerCore = 0;
+    /** The child did not produce a response (it crashed, faulted or
+     * timed out); the ArgBuf (if any) carries no valid data. */
+    bool failed = false;
 };
 
 /** Why an invocation is not currently running. */
@@ -88,6 +121,25 @@ struct Invocation {
     unsigned resumeThreshold = 0;
     /** Completed children whose responses are unread. */
     std::vector<ChildResult> childResults;
+
+    // --- Failure state ---
+    Outcome outcome = Outcome::Ok;
+    /** Hardware fault behind Outcome::Faulted (None otherwise). */
+    uat::Fault fault = uat::Fault::None;
+    /** Deadline fired while this invocation was live; abort at the
+     * next scheduling point (segment boundary or resume). */
+    bool timedOut = false;
+    /** Abort decided while children are outstanding; the executor
+     * waits for them (they hold ArgBufs in this PD) and reclaims at
+     * resume time. */
+    bool abortPending = false;
+    /** The prologue ran (there is isolation state to reclaim). */
+    bool prologueDone = false;
+    /** Injected-fault decision for this attempt (-1 = none). */
+    int crashSeg = -1;
+    int violationSeg = -1;
+    /** Fraction of the faulting segment executed before the abort. */
+    double injectFrac = 0.5;
 
     // --- Accounting ---
     sim::Tick serviceStart = 0; ///< dequeued by the executor

@@ -135,6 +135,16 @@ WorkerServer::WorkerServer(WorkerConfig cfg, FunctionRegistry registry)
     ntcConcurrency_.assign(registry_.size(), 0);
     ntcProvisioned_.assign(registry_.size(),
                            cfg_.provisioning.preProvisioned);
+
+    // --- Failure handling ---------------------------------------------
+    std::vector<std::string> fn_names;
+    fn_names.reserve(registry_.size());
+    for (const DeployedFunction &f : registry_.all())
+        fn_names.push_back(f.spec.name);
+    injector_.configure(cfg_.faultPlan, fn_names, cfg_.seed);
+    if (cfg_.timeoutUs > 0)
+        timeoutCycles_ = sim::usToCycles(cfg_.timeoutUs,
+                                         cfg_.machine.freqGhz);
 }
 
 WorkerServer::~WorkerServer() = default;
@@ -174,6 +184,18 @@ WorkerServer::attachMetrics(trace::MetricsRegistry &registry)
     metrics_.busyExecutors = &registry.gauge("runtime.executors.busy");
     metrics_.liveInvocations =
         &registry.gauge("runtime.invocations.live");
+    metrics_.failedRequests =
+        &registry.counter("runtime.requests.failed");
+    metrics_.timedOutRequests =
+        &registry.counter("runtime.requests.timed_out");
+    metrics_.shedRequests = &registry.counter("runtime.requests.shed");
+    metrics_.retries = &registry.counter("runtime.retries");
+    metrics_.faultsInjected =
+        &registry.counter("runtime.faults.injected");
+    metrics_.abortedInvocations =
+        &registry.counter("runtime.invocations.aborted");
+    metrics_.retryDelayNs =
+        &registry.distribution("runtime.retry.delay_ns");
     privlib_->attachMetrics(registry);
     uat_->attachMetrics(registry);
 }
@@ -250,6 +272,15 @@ WorkerServer::onExternalArrival()
                                   orchs_[req.orch].core,
                                   events_.curTick(), 0, spanArgs(req));
     }
+    if (timeoutCycles_ > 0) {
+        // Deadline timer: one orchestrator-side timer event per
+        // external request, spanning all retry attempts.
+        req.deadline = events_.curTick() + timeoutCycles_;
+        RequestId id = req.id;
+        unsigned orch = req.orch;
+        deadlineEvents_[id] = events_.schedule(
+            req.deadline, [this, orch, id] { onDeadline(orch, id); });
+    }
     orchEnqueue(req.orch, std::move(req));
     scheduleNextArrival();
 }
@@ -261,6 +292,53 @@ WorkerServer::orchEnqueue(unsigned orch, Request req)
 {
     OrchState &o = orchs_[orch];
     req.arrival = events_.curTick();
+    if (req.firstArrival == 0)
+        req.firstArrival = req.arrival;
+    if (!req.internal) {
+        if (req.deadline && req.arrival >= req.deadline) {
+            // Expired during retry backoff or in transit: settle it
+            // here rather than queueing doomed work.
+            Cycles busy = 0;
+            if (req.argBuf && cfg_.system != SystemKind::NightCore) {
+                privlib::PrivResult un = privlib_->munmap(
+                    o.core, req.argBuf, req.argBytes);
+                if (!un.ok)
+                    sim::panic("expired-request munmap failed: %s",
+                               uat::faultName(un.fault));
+                busy += un.latency;
+                --liveArgBufs_;
+            }
+            recordTerminalFailure(req, Outcome::TimedOut,
+                                  events_.curTick() + busy);
+            return;
+        }
+        if (cfg_.shedCap && o.external.size() >= cfg_.shedCap) {
+            // Admission control (tentpole): shed from the external
+            // queue only — internal requests always enqueue, keeping
+            // the §3.3 deadlock-freedom argument intact.
+            if (req.argBuf && cfg_.system != SystemKind::NightCore) {
+                privlib::PrivResult un = privlib_->munmap(
+                    o.core, req.argBuf, req.argBytes);
+                if (!un.ok)
+                    sim::panic("shed munmap failed: %s",
+                               uat::faultName(un.fault));
+                --liveArgBufs_;
+            }
+            cancelDeadline(req.id);
+            if (result_ && req.measured)
+                ++result_->shedRequests;
+            if (metrics_.shedRequests)
+                metrics_.shedRequests->add();
+            if (tracer_ && req.span) {
+                tracer_->complete("outcome.shed",
+                                  trace::Category::Runtime, o.core,
+                                  events_.curTick(), 0, req.span,
+                                  spanArgs(req));
+                tracer_->end(req.span, events_.curTick());
+            }
+            return;
+        }
+    }
     if (req.internal)
         o.internal.push_back(std::move(req));
     else
@@ -326,28 +404,45 @@ WorkerServer::orchDispatchStep(unsigned orch)
         if (it != live_.end()) {
             Invocation &inv = *it->second;
             busy += kCompletionCycles;
-            if (cfg_.system == SystemKind::NightCore) {
-                busy += cfg_.pipeCosts.recvBusy(inv.req.argBytes);
-            } else if (inv.req.argBuf) {
-                // The response leaves through the NIC by DMA; the
-                // orchestrator only releases the ArgBuf.
-                privlib::PrivResult res = privlib_->munmap(
-                    o.core, inv.req.argBuf, inv.req.argBytes);
-                busy += res.latency;
+            Outcome outcome = inv.outcome;
+            if (outcome == Outcome::Ok && inv.req.deadline &&
+                events_.curTick() > inv.req.deadline) {
+                // Completed, but after the client gave up.
+                outcome = Outcome::TimedOut;
             }
-            if (inv.req.measured && result_) {
-                double us = sim::cyclesToUs(
-                    events_.curTick() + busy - inv.req.arrival,
-                    cfg_.machine.freqGhz);
-                result_->latencyUs.record(us);
-                ++result_->completedRequests;
+            if (outcome == Outcome::Ok) {
+                if (cfg_.system == SystemKind::NightCore) {
+                    busy += cfg_.pipeCosts.recvBusy(inv.req.argBytes);
+                } else if (inv.req.argBuf) {
+                    // The response leaves through the NIC by DMA; the
+                    // orchestrator only releases the ArgBuf.
+                    privlib::PrivResult res = privlib_->munmap(
+                        o.core, inv.req.argBuf, inv.req.argBytes);
+                    busy += res.latency;
+                    --liveArgBufs_;
+                }
+                if (inv.req.measured && result_) {
+                    double us = sim::cyclesToUs(
+                        events_.curTick() + busy - inv.req.firstArrival,
+                        cfg_.machine.freqGhz);
+                    result_->latencyUs.record(us);
+                    ++result_->completedRequests;
+                }
+                if (tracer_ && inv.req.span)
+                    tracer_->end(inv.req.span, events_.curTick() + busy);
+                if (metrics_.completedRequests)
+                    metrics_.completedRequests->add();
+                cancelDeadline(id);
+                live_.erase(it);
+                noteLiveInvocations();
+            } else {
+                // Failed attempt: retry with backoff or settle.
+                Request req = std::move(inv.req);
+                live_.erase(it);
+                noteLiveInvocations();
+                busy += settleFailedAttempt(std::move(req), outcome,
+                                            busy);
             }
-            if (tracer_ && inv.req.span)
-                tracer_->end(inv.req.span, events_.curTick() + busy);
-            if (metrics_.completedRequests)
-                metrics_.completedRequests->add();
-            live_.erase(it);
-            noteLiveInvocations();
         }
         progressed = true;
     } else {
@@ -370,6 +465,7 @@ WorkerServer::orchDispatchStep(unsigned orch)
                                uat::faultName(res.fault));
                 req.argBuf = res.value;
                 req.producerCore = o.core;
+                ++liveArgBufs_;
                 busy += res.latency;
                 busy += touchArgBuf(o.core, req.argBuf, req.argBytes,
                                     true);
@@ -395,6 +491,50 @@ WorkerServer::orchDispatchStep(unsigned orch)
             Request out = std::move(queue.front());
             queue.pop_front();
             out.dispatchCycles = scan + kQueueOpCycles;
+
+            if (cfg_.system == SystemKind::NightCore &&
+                injector_.enabled() &&
+                injector_.pipeDrop(out.id, out.attempt, out.fn)) {
+                // The dispatch pipe write is lost; the orchestrator
+                // detects it on the (modelled) pipe error path and
+                // fails the attempt without ever reaching an executor.
+                Cycles drop = cfg_.pipeCosts.sendBusy(out.argBytes) +
+                              cfg_.pipeCosts.recvLatency();
+                busy += drop;
+                if (result_)
+                    ++result_->faultsInjected;
+                if (metrics_.faultsInjected)
+                    metrics_.faultsInjected->add();
+                if (tracer_)
+                    tracer_->complete("pipe.drop",
+                                      trace::Category::Pipe, o.core,
+                                      base + busy - drop, drop,
+                                      out.span, spanArgs(out));
+                if (out.internal) {
+                    // A lost nested call must still unblock the
+                    // waiting parent: deliver a failed result instead
+                    // of deadlocking its join.
+                    RequestId parent = out.parent;
+                    events_.scheduleAfter(busy, [this, parent] {
+                        auto pit = live_.find(parent);
+                        if (pit == live_.end())
+                            sim::panic("pipe drop: parent vanished");
+                        onChildComplete(*pit->second,
+                                        ChildResult{0, 0, 0, true});
+                    });
+                } else {
+                    busy += settleFailedAttempt(std::move(out),
+                                                Outcome::Crashed, busy);
+                }
+                o.dispatching = true;
+                events_.scheduleAfter(
+                    std::max<Cycles>(busy, 1), [this, orch] {
+                        orchs_[orch].dispatching = false;
+                        orchDispatchStep(orch);
+                    });
+                return;
+            }
+
             if (result_ && out.measured && !out.internal) {
                 result_->dispatchNs.record(
                     sim::cyclesToNs(scan, cfg_.machine.freqGhz));
@@ -698,6 +838,9 @@ WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
     // serialize on one dispatch loop.
     child.orch = pickOrch(m_socketOfCore(core));
     child.measured = inv.req.measured;
+    // Children inherit the root request's deadline: once the client's
+    // budget is gone, nested work is abandoned at the next boundary.
+    child.deadline = inv.req.deadline;
 
     switch (cfg_.system) {
       case SystemKind::Jord:
@@ -713,6 +856,7 @@ WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
             sim::panic("child ArgBuf mmap failed: %s",
                        uat::faultName(ab.fault));
         child.argBuf = ab.value;
+        ++liveArgBufs_;
         busy += ab.latency;
         inv.bd.isolation += ab.latency + gate.latency;
         if (tracer_)
@@ -741,6 +885,7 @@ WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
         if (!ab.ok)
             sim::panic("child ArgBuf mmap failed (NI)");
         child.argBuf = ab.value;
+        ++liveArgBufs_;
         busy += ab.latency;
         inv.bd.isolation += ab.latency;
         if (tracer_)
@@ -779,7 +924,8 @@ WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
 }
 
 Cycles
-WorkerServer::consumeChildResults(Invocation &inv, Tick at)
+WorkerServer::consumeChildResults(Invocation &inv, Tick at,
+                                  bool &child_failed)
 {
     unsigned core = coreOfExec(inv.exec);
     Cycles busy = 0;
@@ -797,26 +943,37 @@ WorkerServer::consumeChildResults(Invocation &inv, Tick at)
         iso_total += ce.latency;
     }
     for (ChildResult &result : inv.childResults) {
+        if (result.failed)
+            child_failed = true;
         switch (cfg_.system) {
           case SystemKind::Jord:
           case SystemKind::JordBT:
           case SystemKind::JordNI: {
-            Cycles comm = touchArgBuf(core, result.argBuf,
-                                      result.argBytes, false);
-            busy += comm;
-            inv.bd.comm += comm;
-            comm_total += comm;
-            privlib::PrivResult un = privlib_->munmap(
-                core, result.argBuf, result.argBytes);
-            if (!un.ok)
-                sim::panic("result munmap failed: %s",
-                           uat::faultName(un.fault));
-            busy += un.latency;
-            inv.bd.isolation += un.latency;
-            iso_total += un.latency;
+            if (!result.failed) {
+                // Failed children carried no valid response; skip the
+                // read but still release the buffer below.
+                Cycles comm = touchArgBuf(core, result.argBuf,
+                                          result.argBytes, false);
+                busy += comm;
+                inv.bd.comm += comm;
+                comm_total += comm;
+            }
+            if (result.argBuf) {
+                privlib::PrivResult un = privlib_->munmap(
+                    core, result.argBuf, result.argBytes);
+                if (!un.ok)
+                    sim::panic("result munmap failed: %s",
+                               uat::faultName(un.fault));
+                busy += un.latency;
+                inv.bd.isolation += un.latency;
+                iso_total += un.latency;
+                --liveArgBufs_;
+            }
             break;
           }
           case SystemKind::NightCore: {
+            if (result.failed)
+                break; // nothing arrived on the pipe
             Cycles pipe = cfg_.pipeCosts.recvBusy(result.argBytes);
             busy += pipe;
             inv.bd.pipe += pipe;
@@ -976,6 +1133,73 @@ WorkerServer::runUntilBlocked(Invocation &inv, Tick at)
             return busy;
         }
 
+        if (inv.crashSeg == static_cast<int>(i) ||
+            inv.violationSeg == static_cast<int>(i)) {
+            // Injected fault: the function aborts partway through this
+            // compute segment instead of finishing it.
+            Cycles part = static_cast<Cycles>(
+                static_cast<double>(inv.segments[i]) * inv.injectFrac);
+            busy += part;
+            inv.bd.exec += part;
+            if (inv.violationSeg == static_cast<int>(i)) {
+                // Drive a *real* out-of-bound ArgBuf access through the
+                // UAT so the abort is triggered by the actual hardware
+                // permission check, not by fiat.
+                uat::UatAccess acc{};
+                acc.fault = uat::Fault::None;
+                if (inv.req.argBuf)
+                    acc = uat_->dataAccess(
+                        core, inv.req.argBuf + inv.req.argBytes,
+                        uat::Perm(uat::Perm::W));
+                if (acc.ok()) {
+                    // The rounded-up VMA absorbed the overrun (or
+                    // isolation is bypassed): escalate to a privileged
+                    // address, which no function may ever touch.
+                    acc = uat_->dataAccess(core,
+                                           privlib_->privDataBase(),
+                                           uat::Perm(uat::Perm::W));
+                }
+                busy += acc.latency;
+                if (acc.ok()) {
+                    // Isolation bypassed end to end (Jord_NI with no
+                    // privileged VMAs hit): the wild write corrupts
+                    // state and the process model treats it as a crash.
+                    inv.outcome = Outcome::Crashed;
+                } else {
+                    inv.fault = acc.fault;
+                    inv.outcome = Outcome::Faulted;
+                }
+            } else {
+                inv.outcome = Outcome::Crashed;
+            }
+            if (result_)
+                ++result_->faultsInjected;
+            if (metrics_.faultsInjected)
+                metrics_.faultsInjected->add();
+            if (tracer_)
+                traceSpan("fault.inject", trace::Category::Runtime,
+                          core, at + busy - part, part, inv);
+            if (inv.pendingChildren > 0) {
+                // Outstanding children still hold permissions rooted
+                // in this PD; wait for them, then reclaim at resume.
+                if (isolated()) {
+                    privlib::PrivResult ex = privlib_->cexit(core);
+                    if (!ex.ok)
+                        sim::panic("abort cexit failed: %s",
+                                   uat::faultName(ex.fault));
+                    busy += ex.latency;
+                    inv.bd.isolation += ex.latency;
+                }
+                inv.abortPending = true;
+                inv.state = InvState::Suspended;
+                inv.resumeThreshold = 0;
+                return busy;
+            }
+            busy += abortReclaim(inv, at + busy, true);
+            inv.state = InvState::Done;
+            return busy;
+        }
+
         Cycles seg_start = busy;
         Cycles seg = inv.segments[i];
         busy += seg;
@@ -1057,6 +1281,15 @@ WorkerServer::startInvocation(unsigned exec, Request req)
                                   parent, spanArgs(inv.req));
     }
 
+    if (inv.req.deadline && events_.curTick() >= inv.req.deadline) {
+        // Dead on arrival: the deadline expired while the request sat
+        // in the executor queue. Don't waste a PD on it.
+        inv.outcome = Outcome::TimedOut;
+        inv.state = InvState::Done;
+        scheduleExecCompletion(exec, inv.req.id, kQueueOpCycles);
+        return;
+    }
+
     const FunctionSpec &spec = registry_.at(inv.req.fn).spec;
     Cycles total = drawExec(spec);
     unsigned segs = static_cast<unsigned>(spec.calls.size()) + 1;
@@ -1085,27 +1318,32 @@ WorkerServer::startInvocation(unsigned exec, Request req)
         inv.segments[segs - 1] = total - used;
     }
 
+    if (injector_.enabled()) {
+        fault::Decision d = injector_.decide(inv.req.id,
+                                             inv.req.attempt,
+                                             inv.req.fn, segs);
+        if (d.spikeMult > 1.0) {
+            for (Cycles &seg : inv.segments)
+                seg = static_cast<Cycles>(static_cast<double>(seg) *
+                                          d.spikeMult);
+        }
+        inv.crashSeg = d.crashSegment;
+        inv.violationSeg = d.violationSegment;
+        inv.injectFrac = d.fraction;
+        if (cfg_.system == SystemKind::NightCore &&
+            inv.violationSeg >= 0) {
+            // No UAT to raise the fault: a wild store in a NightCore
+            // worker thread simply crashes it.
+            inv.crashSeg = inv.violationSeg;
+            inv.violationSeg = -1;
+        }
+    }
+
     Tick base = events_.curTick();
     Cycles busy = invocationPrologue(inv, base);
+    inv.prologueDone = true;
     busy += runUntilBlocked(inv, base + busy);
-
-    events_.scheduleAfter(std::max<Cycles>(busy, 1),
-                          [this, exec, id = inv.req.id] {
-                              ExecState &e = execs_[exec];
-                              e.busy = false;
-                              noteExecBusy(false);
-                              auto it = live_.find(id);
-                              if (it != live_.end() &&
-                                  it->second->state == InvState::Done) {
-                                  finishInvocation(*it->second);
-                              } else {
-                                  // Suspended: free the JBSQ slot.
-                                  --e.outstanding;
-                                  markDirty(e);
-                                  orchDispatchStep(execs_[exec].orch);
-                              }
-                              execStep(exec);
-                          });
+    scheduleExecCompletion(exec, inv.req.id, busy);
 }
 
 void
@@ -1117,21 +1355,59 @@ WorkerServer::resumeInvocation(unsigned exec, Invocation &inv)
     inv.state = InvState::Running;
 
     Tick base = events_.curTick();
-    Cycles busy = consumeChildResults(inv, base);
-    busy += runUntilBlocked(inv, base + busy);
+    bool child_failed = false;
+    Cycles busy = consumeChildResults(inv, base, child_failed);
 
+    bool abort = inv.abortPending || inv.timedOut || child_failed ||
+                 (inv.req.deadline && base >= inv.req.deadline);
+    if (abort) {
+        if (inv.outcome == Outcome::Ok)
+            inv.outcome = child_failed ? Outcome::ChildFailed
+                                       : Outcome::TimedOut;
+        if (inv.pendingChildren > 0) {
+            // Still-outstanding children hold permissions rooted in
+            // this PD; suspend again and reclaim once they drain.
+            if (isolated()) {
+                unsigned core = coreOfExec(exec);
+                privlib::PrivResult ex = privlib_->cexit(core);
+                if (!ex.ok)
+                    sim::panic("abort cexit failed: %s",
+                               uat::faultName(ex.fault));
+                busy += ex.latency;
+                inv.bd.isolation += ex.latency;
+            }
+            inv.abortPending = true;
+            inv.state = InvState::Suspended;
+            inv.resumeThreshold = 0;
+        } else {
+            busy += abortReclaim(inv, base + busy, true);
+            inv.state = InvState::Done;
+        }
+        scheduleExecCompletion(exec, inv.req.id, busy);
+        return;
+    }
+
+    busy += runUntilBlocked(inv, base + busy);
+    scheduleExecCompletion(exec, inv.req.id, busy);
+}
+
+void
+WorkerServer::scheduleExecCompletion(unsigned exec, RequestId id,
+                                     Cycles busy)
+{
     events_.scheduleAfter(std::max<Cycles>(busy, 1),
-                          [this, exec, id = inv.req.id] {
-                              ExecState &ex = execs_[exec];
-                              ex.busy = false;
+                          [this, exec, id] {
+                              ExecState &e = execs_[exec];
+                              e.busy = false;
                               noteExecBusy(false);
                               auto it = live_.find(id);
                               if (it != live_.end() &&
                                   it->second->state == InvState::Done) {
                                   finishInvocation(*it->second);
                               } else {
-                                  --ex.outstanding;
-                                  markDirty(ex);
+                                  // Suspended: free the JBSQ slot.
+                                  --e.outstanding;
+                                  markDirty(e);
                                   orchDispatchStep(execs_[exec].orch);
                               }
                               execStep(exec);
@@ -1169,20 +1445,24 @@ WorkerServer::finishInvocation(Invocation &inv)
     ExecState &e = execs_[inv.exec];
     --e.outstanding;
     markDirty(e);
-    if (cfg_.system == SystemKind::NightCore) {
+    if (cfg_.system == SystemKind::NightCore && inv.prologueDone) {
         // The worker slot frees at actual completion time, not when the
-        // epilogue's costs were computed.
+        // epilogue's costs were computed. Aborted-before-start
+        // invocations never took a slot.
         --ntcConcurrency_[inv.req.fn];
     }
     if (tracer_ && inv.span)
         tracer_->end(inv.span, events_.curTick());
-    if (metrics_.invocations)
-        metrics_.invocations->add();
-    accountInvocation(inv);
+    if (inv.outcome == Outcome::Ok) {
+        if (metrics_.invocations)
+            metrics_.invocations->add();
+        accountInvocation(inv);
+    }
 
     unsigned core = coreOfExec(inv.exec);
     if (inv.req.internal) {
-        ChildResult result{inv.req.argBuf, inv.req.argBytes, core};
+        ChildResult result{inv.req.argBuf, inv.req.argBytes, core,
+                           inv.outcome != Outcome::Ok};
         RequestId parent = inv.req.parent;
         // Completion notification to the parent's executor.
         auto pit = live_.find(parent);
@@ -1230,6 +1510,296 @@ WorkerServer::onChildComplete(Invocation &parent, ChildResult result)
     }
 }
 
+// --- Failure handling -------------------------------------------------------
+
+Cycles
+WorkerServer::retryDelayCycles(unsigned attempt) const
+{
+    Cycles base = sim::usToCycles(cfg_.retryBackoffUs,
+                                  cfg_.machine.freqGhz);
+    unsigned shift = attempt > 0 ? attempt - 1 : 0;
+    // Cap the exponent so a large budget cannot overflow the delay.
+    shift = std::min(shift, 20u);
+    return std::max<Cycles>(base, 1) << shift;
+}
+
+Cycles
+WorkerServer::abortReclaim(Invocation &inv, Tick at, bool in_pd)
+{
+    if (!inv.prologueDone)
+        return 0; // nothing was materialised for this invocation
+    unsigned core = coreOfExec(inv.exec);
+    Cycles busy = 0;
+
+    switch (cfg_.system) {
+      case SystemKind::Jord:
+      case SystemKind::JordBT: {
+        // Mirror the epilogue without the response write-back: the PD
+        // must shed every permission before cput accepts it.
+        if (!in_pd) {
+            privlib::PrivResult ce = privlib_->center(core, inv.pd);
+            if (!ce.ok)
+                sim::panic("abort center failed: %s",
+                           uat::faultName(ce.fault));
+            busy += ce.latency;
+        }
+        for (ChildResult &r : inv.childResults) {
+            if (!r.argBuf)
+                continue;
+            privlib::PrivResult un = privlib_->munmap(core, r.argBuf,
+                                                      r.argBytes);
+            if (!un.ok)
+                sim::panic("abort result munmap failed: %s",
+                           uat::faultName(un.fault));
+            busy += un.latency;
+            --liveArgBufs_;
+        }
+        inv.childResults.clear();
+
+        uat::UatAccess gate = uat_->fetch(core,
+                                          privlib_->privCodeBase());
+        busy += gate.latency;
+        privlib::PrivResult ex = privlib_->cexit(core);
+        if (!ex.ok)
+            sim::panic("abort cexit failed: %s",
+                       uat::faultName(ex.fault));
+        busy += ex.latency;
+
+        if (inv.req.argBuf) {
+            // The input ArgBuf goes back to its owner (root for
+            // external requests — it is reused verbatim on retry).
+            privlib::PrivResult mv = privlib_->pmoveBetween(
+                core, inv.req.argBuf, inv.pd, inv.req.argOwner,
+                uat::Perm::rw());
+            if (!mv.ok)
+                sim::panic("abort ArgBuf pmove failed: %s",
+                           uat::faultName(mv.fault));
+            busy += mv.latency;
+        }
+        privlib::PrivResult code = privlib_->pmoveBetween(
+            core, registry_.at(inv.req.fn).codeVma, inv.pd,
+            privlib::PrivLib::kRootPd, uat::Perm::rx());
+        if (!code.ok)
+            sim::panic("abort code revoke failed: %s",
+                       uat::faultName(code.fault));
+        busy += code.latency;
+
+        privlib::PrivResult un = privlib_->munmap(
+            core, inv.stackHeapVma,
+            registry_.at(inv.req.fn).spec.stackHeapBytes);
+        if (!un.ok)
+            sim::panic("abort stack/heap munmap failed: %s",
+                       uat::faultName(un.fault));
+        busy += un.latency;
+
+        privlib::PrivResult put = privlib_->cput(core, inv.pd);
+        if (!put.ok)
+            sim::panic("abort cput failed: %s",
+                       uat::faultName(put.fault));
+        busy += put.latency;
+        break;
+      }
+      case SystemKind::JordNI: {
+        for (ChildResult &r : inv.childResults) {
+            if (!r.argBuf)
+                continue;
+            privlib::PrivResult un = privlib_->munmap(core, r.argBuf,
+                                                      r.argBytes);
+            if (!un.ok)
+                sim::panic("abort result munmap failed (NI)");
+            busy += un.latency;
+            --liveArgBufs_;
+        }
+        inv.childResults.clear();
+        privlib::PrivResult un = privlib_->munmap(
+            core, inv.stackHeapVma,
+            registry_.at(inv.req.fn).spec.stackHeapBytes);
+        if (!un.ok)
+            sim::panic("abort stack/heap munmap failed (NI)");
+        busy += un.latency;
+        break;
+      }
+      case SystemKind::NightCore:
+        // Process/thread state dies with the worker slot; the slot
+        // itself is released in finishInvocation.
+        break;
+    }
+
+    inv.bd.isolation += busy;
+    if (result_ && inv.req.measured)
+        ++result_->abortedInvocations;
+    if (metrics_.abortedInvocations)
+        metrics_.abortedInvocations->add();
+    if (tracer_)
+        traceSpan("abort.reclaim", trace::Category::Isolation, core,
+                  at, busy, inv);
+    return busy;
+}
+
+void
+WorkerServer::cancelDeadline(RequestId id)
+{
+    auto it = deadlineEvents_.find(id);
+    if (it == deadlineEvents_.end())
+        return;
+    events_.cancel(it->second);
+    deadlineEvents_.erase(it);
+}
+
+void
+WorkerServer::onDeadline(unsigned orch, RequestId id)
+{
+    deadlineEvents_.erase(id);
+    auto it = live_.find(id);
+    if (it != live_.end()) {
+        // In flight: mark it and let the next scheduling point
+        // (segment boundary, resume, completion) abort and reclaim.
+        if (it->second->state != InvState::Done)
+            it->second->timedOut = true;
+        return;
+    }
+    // Not yet dispatched: if it still sits in the orchestrator's
+    // external queue, drop it there. Any other position (executor
+    // queue, in transit, retry backoff) is caught lazily by the
+    // deadline checks on those paths.
+    OrchState &o = orchs_[orch];
+    for (auto qit = o.external.begin(); qit != o.external.end();
+         ++qit) {
+        if (qit->id != id)
+            continue;
+        Request req = std::move(*qit);
+        o.external.erase(qit);
+        Cycles busy = 0;
+        if (req.argBuf && cfg_.system != SystemKind::NightCore) {
+            privlib::PrivResult un = privlib_->munmap(
+                o.core, req.argBuf, req.argBytes);
+            if (!un.ok)
+                sim::panic("deadline munmap failed: %s",
+                           uat::faultName(un.fault));
+            busy += un.latency;
+            --liveArgBufs_;
+        }
+        recordTerminalFailure(req, Outcome::TimedOut,
+                              events_.curTick() + busy);
+        return;
+    }
+}
+
+Cycles
+WorkerServer::settleFailedAttempt(Request req, Outcome outcome,
+                                  Cycles busy)
+{
+    OrchState &o = orchs_[req.orch];
+    bool expired = req.deadline && events_.curTick() >= req.deadline;
+    if (outcome != Outcome::TimedOut && !expired &&
+        req.attempt < cfg_.maxRetries) {
+        ++req.attempt;
+        Cycles delay = retryDelayCycles(req.attempt);
+        double delay_us = sim::cyclesToUs(delay, cfg_.machine.freqGhz);
+        if (result_ && req.measured) {
+            ++result_->retries;
+            result_->retryDelayUs.record(delay_us);
+        }
+        if (metrics_.retries)
+            metrics_.retries->add();
+        if (metrics_.retryDelayNs)
+            metrics_.retryDelayNs->record(
+                static_cast<std::uint64_t>(delay_us * 1000.0));
+        if (tracer_ && req.span)
+            tracer_->complete("retry", trace::Category::Runtime,
+                              o.core, events_.curTick() + busy, delay,
+                              req.span, spanArgs(req));
+        req.dispatchCycles = 0;
+        unsigned target = req.orch;
+        events_.scheduleAfter(
+            busy + delay, [this, target, r = std::move(req)]() mutable {
+                orchEnqueue(target, std::move(r));
+            });
+        return 0;
+    }
+
+    Cycles extra = 0;
+    if (req.argBuf && cfg_.system != SystemKind::NightCore) {
+        privlib::PrivResult un = privlib_->munmap(o.core, req.argBuf,
+                                                  req.argBytes);
+        if (!un.ok)
+            sim::panic("terminal-failure munmap failed: %s",
+                       uat::faultName(un.fault));
+        extra += un.latency;
+        --liveArgBufs_;
+    }
+    if (expired) {
+        // Whatever killed the last attempt, the client saw a timeout.
+        outcome = Outcome::TimedOut;
+    }
+    recordTerminalFailure(req, outcome,
+                          events_.curTick() + busy + extra);
+    return extra;
+}
+
+void
+WorkerServer::recordTerminalFailure(const Request &req, Outcome outcome,
+                                    Tick done)
+{
+    cancelDeadline(req.id);
+    if (result_ && req.measured) {
+        double us = sim::cyclesToUs(done - req.firstArrival,
+                                    cfg_.machine.freqGhz);
+        if (outcome == Outcome::TimedOut) {
+            ++result_->timedOutRequests;
+            result_->timedOutUs.record(us);
+        } else {
+            ++result_->failedRequests;
+            result_->failedUs.record(us);
+        }
+    }
+    if (outcome == Outcome::TimedOut) {
+        if (metrics_.timedOutRequests)
+            metrics_.timedOutRequests->add();
+    } else if (metrics_.failedRequests) {
+        metrics_.failedRequests->add();
+    }
+    if (tracer_ && req.span) {
+        tracer_->complete(outcome == Outcome::TimedOut
+                              ? "outcome.timeout"
+                              : "outcome.failed",
+                          trace::Category::Runtime,
+                          orchs_[req.orch].core, done, 0, req.span,
+                          spanArgs(req));
+        tracer_->end(req.span, done);
+    }
+}
+
+void
+WorkerServer::verifyQuiescent()
+{
+    for (const OrchState &o : orchs_) {
+        if (!o.external.empty() || !o.internal.empty() ||
+            !o.completions.empty())
+            sim::panic("run drained with queued work on orchestrator "
+                       "core %u", o.core);
+    }
+    for (const ExecState &e : execs_) {
+        if (!e.queue.empty() || !e.resumable.empty() || e.busy ||
+            e.outstanding != 0)
+            sim::panic("run drained with executor core %u not idle",
+                       e.core);
+    }
+    if (!live_.empty())
+        sim::panic("run drained with %zu live invocations",
+                   live_.size());
+    if (liveArgBufs_ != 0)
+        sim::panic("ArgBuf leak: %llu VMAs still mapped",
+                   static_cast<unsigned long long>(liveArgBufs_));
+    if (!deadlineEvents_.empty())
+        sim::panic("stale deadline timers after drain: %zu",
+                   deadlineEvents_.size());
+    // Only the root PD may remain (PrivLib counts it as live).
+    if (isJordFamily() && privlib_->numLivePds() != 1)
+        sim::panic("PD leak: %u protection domains still live "
+                   "(expected only root)", privlib_->numLivePds());
+}
+
 double
 WorkerServer::measureDispatchScanNs()
 {
@@ -1264,6 +1834,8 @@ WorkerServer::run(double mrps, std::uint64_t num_requests,
 
     events_.reset();
     live_.clear();
+    liveArgBufs_ = 0;
+    deadlineEvents_.clear();
     for (auto &o : orchs_) {
         o.external.clear();
         o.internal.clear();
@@ -1291,6 +1863,10 @@ WorkerServer::run(double mrps, std::uint64_t num_requests,
     scheduleNextArrival();
     events_.run();
     Tick end = events_.curTick();
+
+    // Leak invariant: every abort path must have returned its PD and
+    // ArgBufs; a drained run leaves no runtime state behind.
+    verifyQuiescent();
 
     result_ = nullptr;
     double elapsed_us =

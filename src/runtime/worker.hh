@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "baseline/nightcore.hh"
+#include "fault/fault.hh"
 #include "mem/coherence.hh"
 #include "noc/mesh.hh"
 #include "os/kernel.hh"
@@ -66,6 +67,21 @@ struct WorkerConfig {
     std::uint64_t seed = 42;
     baseline::PipeCosts pipeCosts;
     baseline::ProvisioningModel provisioning;
+
+    // --- Failure handling (all disabled by default: with a zero-rate
+    // plan, no timeout and no shed cap, runs are byte-identical to a
+    // build without this subsystem) ---
+    /** Deterministic fault-injection plan (default: inject nothing). */
+    fault::FaultPlan faultPlan;
+    /** Per-request deadline in µs (0 = no deadline). */
+    double timeoutUs = 0;
+    /** Retry budget per external request (0 = fail immediately). */
+    unsigned maxRetries = 0;
+    /** Base retry delay, doubled per attempt (exponential backoff). */
+    double retryBackoffUs = 20.0;
+    /** Max queued external requests per orchestrator before shedding
+     * (0 = never shed). Internal queues are never shed (§3.3). */
+    std::size_t shedCap = 0;
 };
 
 /** Weighted entry-point mix for external requests. */
@@ -88,6 +104,26 @@ struct RunResult {
     Breakdown totals;
     std::uint64_t invocations = 0;
     std::uint64_t completedRequests = 0;
+    /** Requests that exhausted their retry budget on a crash/fault. */
+    std::uint64_t failedRequests = 0;
+    /** Requests whose deadline expired (terminal, after retries). */
+    std::uint64_t timedOutRequests = 0;
+    /** Requests shed at admission by the external-queue cap. */
+    std::uint64_t shedRequests = 0;
+    /** Retry attempts issued (counts re-dispatches, not requests). */
+    std::uint64_t retries = 0;
+    /** Invocations aborted (injected fault, timeout, or child failure);
+     * not counted in `invocations`, which keeps its meaning of
+     * successful invocation executions. */
+    std::uint64_t abortedInvocations = 0;
+    /** Faults the injector actually fired (crashes + violations). */
+    std::uint64_t faultsInjected = 0;
+    /** Time-to-failure (µs, arrival -> terminal failure). */
+    stats::Sampler failedUs;
+    /** Time-to-timeout (µs, arrival -> deadline verdict). */
+    stats::Sampler timedOutUs;
+    /** Backoff delays of issued retries (µs). */
+    stats::Sampler retryDelayUs;
     /** Mean executor busy fraction over the measured window. */
     double executorUtilization = 0;
     /** Dispatch-decision latency samples (ns), Fig. 14. */
@@ -150,6 +186,19 @@ class WorkerServer
     void setTracer(trace::Tracer *tracer);
     trace::Tracer *tracer() const { return tracer_; }
 
+    /** The fault injector resolved from cfg.faultPlan (tests). */
+    const fault::FaultInjector &faultInjector() const { return injector_; }
+
+    /**
+     * Backoff delay before retry number @p attempt (attempt >= 1):
+     * retryBackoffUs doubled per prior attempt, capped to avoid
+     * overflow. Exposed so tests can assert the schedule.
+     */
+    sim::Cycles retryDelayCycles(unsigned attempt) const;
+
+    /** ArgBuf VMAs currently mapped by the runtime (leak checker). */
+    std::uint64_t liveArgBufs() const { return liveArgBufs_; }
+
     /**
      * Register this worker's counters/gauges/distributions (and those
      * of its PrivLib and UAT) into @p registry. The registry must
@@ -199,6 +248,14 @@ class WorkerServer
     std::vector<ExecState> execs_;
     std::unordered_map<RequestId, std::unique_ptr<Invocation>> live_;
 
+    // Failure handling.
+    fault::FaultInjector injector_;
+    sim::Cycles timeoutCycles_ = 0;
+    /** Runtime-mapped ArgBuf VMAs not yet munmapped (leak invariant). */
+    std::uint64_t liveArgBufs_ = 0;
+    /** Pending deadline-timer events by external request id. */
+    std::unordered_map<RequestId, std::uint64_t> deadlineEvents_;
+
     RequestId nextRequestId_ = 1;
     std::uint64_t externalLeft_ = 0;
     double arrivalMeanCycles_ = 0;
@@ -230,6 +287,13 @@ class WorkerServer
         trace::Distribution *serviceNs = nullptr;
         trace::Gauge *busyExecutors = nullptr;
         trace::Gauge *liveInvocations = nullptr;
+        trace::Counter *failedRequests = nullptr;
+        trace::Counter *timedOutRequests = nullptr;
+        trace::Counter *shedRequests = nullptr;
+        trace::Counter *retries = nullptr;
+        trace::Counter *faultsInjected = nullptr;
+        trace::Counter *abortedInvocations = nullptr;
+        trace::Distribution *retryDelayNs = nullptr;
     };
     RuntimeMetrics metrics_;
 
@@ -270,9 +334,44 @@ class WorkerServer
     sim::Cycles invocationEpilogue(Invocation &inv, sim::Tick at);
     sim::Cycles issueChild(Invocation &inv, const CallSpec &call,
                            sim::Cycles offset, sim::Tick at);
-    sim::Cycles consumeChildResults(Invocation &inv, sim::Tick at);
+    /** @p child_failed is set when any consumed result is a failure. */
+    sim::Cycles consumeChildResults(Invocation &inv, sim::Tick at,
+                                    bool &child_failed);
     void finishInvocation(Invocation &inv);
     void onChildComplete(Invocation &parent, ChildResult result);
+    /** Shared completion callback of start/resumeInvocation. */
+    void scheduleExecCompletion(unsigned exec, RequestId id,
+                                sim::Cycles busy);
+
+    // --- Failure handling ---
+    /**
+     * Tear down an aborted invocation's isolation state, mirroring the
+     * epilogue without the response write-back: free unconsumed child
+     * ArgBufs, return the input ArgBuf to its owner, revoke code, free
+     * stack/heap, destroy the PD. @p in_pd says whether the executor is
+     * still inside the invocation's PD (abort mid-segment) or back in
+     * root (abort at resume). Returns busy cycles.
+     */
+    sim::Cycles abortReclaim(Invocation &inv, sim::Tick at, bool in_pd);
+    /** Deadline timer for external request @p id fired. */
+    void onDeadline(unsigned orch, RequestId id);
+    void cancelDeadline(RequestId id);
+    /**
+     * An external request's attempt ended in failure: retry it (with
+     * backoff) if budget remains, otherwise record the terminal outcome
+     * and release its resources. The invocation must already be removed
+     * from live_ by the caller if it was there. @p busy is the caller's
+     * accumulated busy offset (retries are scheduled after it); the
+     * return value is additional busy cycles spent here (ArgBuf release
+     * on a terminal failure).
+     */
+    sim::Cycles settleFailedAttempt(Request req, Outcome outcome,
+                                    sim::Cycles busy);
+    /** Terminal failure accounting (measured window + metrics). */
+    void recordTerminalFailure(const Request &req, Outcome outcome,
+                               sim::Tick done);
+    /** Post-run invariant: no live PDs, ArgBufs, queue entries. */
+    void verifyQuiescent();
 
     // --- Shared helpers ---
     sim::Cycles touchArgBuf(unsigned core, sim::Addr va,

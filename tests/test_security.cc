@@ -9,6 +9,8 @@
 
 #include "tests/fixture.hh"
 
+#include "fault/fault.hh"
+#include "runtime/worker.hh"
 #include "sim/rng.hh"
 
 namespace {
@@ -275,6 +277,51 @@ TEST_F(SecurityTest, GateCheckSurvivesVlbPressure)
     }
     UatAccess mid = uat->fetch(1, privlib->privCodeBase() + 24);
     EXPECT_EQ(mid.fault, Fault::BadGate);
+}
+
+TEST(SecurityRuntime, FaultingInvocationDoesNotPoisonExecutor)
+{
+    // End-to-end version of the threat model: a function that touches
+    // memory beyond its ArgBuf takes a real UAT fault, and the runtime
+    // must abort that invocation without poisoning its executor --
+    // clean functions sharing the worker keep completing, the faulty
+    // PD is fully reclaimed, and a follow-up run on the same worker is
+    // unaffected.
+    using jord::runtime::FunctionRegistry;
+    using jord::runtime::FunctionSpec;
+    using jord::runtime::RunResult;
+    using jord::runtime::WorkerConfig;
+    using jord::runtime::WorkerServer;
+
+    FunctionRegistry reg;
+    FunctionSpec clean_spec;
+    clean_spec.name = "clean";
+    clean_spec.execMeanUs = 0.5;
+    clean_spec.execCv = 0.1;
+    auto clean = reg.add(clean_spec);
+    FunctionSpec faulty_spec = clean_spec;
+    faulty_spec.name = "faulty";
+    reg.add(faulty_spec);
+
+    WorkerConfig cfg;
+    cfg.faultPlan = jord::fault::FaultPlan::parse(
+        "seed=5;faulty:perm=1.0");
+    WorkerServer worker(cfg, reg);
+    RunResult res = worker.run(0.5, 2000, {{0, 0.5}, {1, 0.5}});
+
+    // The mix is random, but every clean request must complete and
+    // every faulty one must fail; together they conserve the measured
+    // window.
+    EXPECT_GT(res.completedRequests, 0u);
+    EXPECT_GT(res.failedRequests, 0u);
+    EXPECT_EQ(res.completedRequests + res.failedRequests, 1600u);
+    EXPECT_EQ(res.perFunctionCount[clean], res.completedRequests);
+    EXPECT_EQ(worker.privlib().numLivePds(), 1u);
+    EXPECT_EQ(worker.liveArgBufs(), 0u);
+
+    RunResult again = worker.run(0.5, 1000, {{clean, 1.0}});
+    EXPECT_EQ(again.completedRequests, 800u);
+    EXPECT_EQ(again.failedRequests, 0u);
 }
 
 } // namespace

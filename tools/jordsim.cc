@@ -8,22 +8,10 @@
  *     jordsim --workload Hipster --system Jord --mrps 4.0
  *     jordsim --workload Media --system NightCore --requests 50000 --csv
  *     jordsim --workload Hotel --sweep 0.5:9:12   # load sweep + SLO knee
+ *     jordsim --workload Hotel --fault-plan "crash=0.01" \
+ *             --timeout-us 500 --max-retries 2 --shed-cap 256
  *
- * Flags:
- *   --workload NAME    Hipster | Hotel | Media | Social  (default Hipster)
- *   --system NAME      Jord | JordNI | JordBT | NightCore (default Jord)
- *   --mrps X           offered load in MRPS               (default 1.0)
- *   --requests N       external requests                  (default 20000)
- *   --cores N          machine size                       (default 32)
- *   --sockets N        socket count                       (default 1)
- *   --orchestrators N  orchestrator threads               (default 4)
- *   --seed N           RNG seed                           (default 42)
- *   --sweep LO:HI:N    sweep N loads in [LO, HI] and report the SLO knee
- *   --csv              machine-readable output
- *   --trace-out FILE   write a Chrome trace-event / Perfetto JSON trace
- *   --metrics-out FILE write the metrics registry as CSV
- *
- * --trace-out and --metrics-out also accept the --flag=value form.
+ * Run `jordsim --help` for the full flag reference.
  */
 
 #include <cstdio>
@@ -32,6 +20,7 @@
 #include <fstream>
 #include <string>
 
+#include "fault/fault.hh"
 #include "sim/logging.hh"
 #include "trace/export.hh"
 #include "trace/metrics.hh"
@@ -77,68 +66,150 @@ struct Options {
     unsigned sweepN = 0;
     std::string traceOut;
     std::string metricsOut;
+    std::string faultPlan;
+    double timeoutUs = 0;
+    unsigned maxRetries = 0;
+    double retryBackoffUs = 20.0;
+    std::size_t shedCap = 0;
 };
+
+void
+printUsage()
+{
+    std::printf(
+        "usage: jordsim [flags]\n"
+        "\n"
+        "Run one (workload, system, load) combination of the Jord\n"
+        "simulation, or a load sweep, and report latency/throughput.\n"
+        "\n"
+        "run selection:\n"
+        "  --workload NAME     Hipster | Hotel | Media | Social"
+        "  (default Hipster)\n"
+        "  --system NAME       Jord | JordNI | JordBT | NightCore"
+        " (default Jord)\n"
+        "  --mrps X            offered load in MRPS"
+        "            (default 1.0)\n"
+        "  --requests N        external requests to generate"
+        "   (default 20000)\n"
+        "  --sweep LO:HI:N     sweep N loads in [LO, HI] and report\n"
+        "                      the SLO knee instead of a single run\n"
+        "\n"
+        "machine:\n"
+        "  --cores N           total cores"
+        "                     (default 32)\n"
+        "  --sockets N         socket count"
+        "                    (default 1)\n"
+        "  --orchestrators N   orchestrator threads"
+        "            (default 4)\n"
+        "  --seed N            RNG seed"
+        "                        (default 42)\n"
+        "\n"
+        "failure handling (all off by default):\n"
+        "  --fault-plan SPEC   deterministic fault-injection plan.\n"
+        "                      SPEC is ';'-separated clauses of\n"
+        "                      comma-separated key=value pairs; the\n"
+        "                      first clause applies to every function,\n"
+        "                      later 'Name:' clauses override one\n"
+        "                      function. Keys: crash (probability),\n"
+        "                      perm (ArgBuf permission violation),\n"
+        "                      spike (probability) and spikex\n"
+        "                      (multiplier), drop (NightCore pipe\n"
+        "                      drop), seed (injection seed; global\n"
+        "                      clause only, default: worker seed).\n"
+        "                      e.g. \"crash=0.01;ReadPage:crash=0.2\"\n"
+        "  --timeout-us X      per-request deadline in us (0 = none)\n"
+        "  --max-retries N     retry budget per external request\n"
+        "  --retry-backoff-us X  base retry delay, doubled per attempt\n"
+        "                      (default 20)\n"
+        "  --shed-cap N        shed external arrivals when an\n"
+        "                      orchestrator's external queue holds N\n"
+        "                      requests (0 = never shed)\n"
+        "\n"
+        "output:\n"
+        "  --csv               machine-readable output\n"
+        "  --trace-out FILE    write a Chrome trace-event / Perfetto\n"
+        "                      JSON trace of the run\n"
+        "  --metrics-out FILE  write the metrics registry as CSV\n"
+        "\n"
+        "Value-taking flags also accept the --flag=value form.\n");
+}
 
 Options
 parseArgs(int argc, char **argv)
 {
     Options opt;
-    auto need = [&](int &i, const char *flag) -> const char * {
-        if (i + 1 >= argc)
-            sim::fatal("%s requires a value", flag);
-        return argv[++i];
-    };
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
-        // --flag=value form for the file-emitting flags.
-        if (std::size_t eq = arg.find('=');
-            eq != std::string::npos &&
-            (arg.compare(0, eq, "--trace-out") == 0 ||
-             arg.compare(0, eq, "--metrics-out") == 0)) {
-            std::string value = arg.substr(eq + 1);
-            if (value.empty())
-                sim::fatal("%s requires a value",
-                           arg.substr(0, eq).c_str());
-            if (arg.compare(0, eq, "--trace-out") == 0)
-                opt.traceOut = value;
-            else
-                opt.metricsOut = value;
-            continue;
+        // Every value-taking flag accepts both "--flag value" and
+        // "--flag=value" (the fault-plan spec itself contains '=', so
+        // only the first '=' splits).
+        std::string flag = arg;
+        std::string inline_val;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            if (std::size_t eq = arg.find('=');
+                eq != std::string::npos) {
+                flag = arg.substr(0, eq);
+                inline_val = arg.substr(eq + 1);
+                has_inline = true;
+                if (inline_val.empty())
+                    sim::fatal("%s requires a value", flag.c_str());
+            }
         }
-        if (arg == "--workload")
-            opt.workload = need(i, "--workload");
-        else if (arg == "--system")
-            opt.system = need(i, "--system");
-        else if (arg == "--mrps")
-            opt.mrps = std::strtod(need(i, "--mrps"), nullptr);
-        else if (arg == "--requests")
+        auto value = [&]() -> std::string {
+            if (has_inline)
+                return inline_val;
+            if (i + 1 >= argc)
+                sim::fatal("%s requires a value", flag.c_str());
+            return argv[++i];
+        };
+        if (flag == "--workload")
+            opt.workload = value();
+        else if (flag == "--system")
+            opt.system = value();
+        else if (flag == "--mrps")
+            opt.mrps = std::strtod(value().c_str(), nullptr);
+        else if (flag == "--requests")
             opt.requests =
-                std::strtoull(need(i, "--requests"), nullptr, 10);
-        else if (arg == "--cores")
+                std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--cores")
             opt.cores = static_cast<unsigned>(
-                std::strtoul(need(i, "--cores"), nullptr, 10));
-        else if (arg == "--sockets")
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (flag == "--sockets")
             opt.sockets = static_cast<unsigned>(
-                std::strtoul(need(i, "--sockets"), nullptr, 10));
-        else if (arg == "--orchestrators")
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (flag == "--orchestrators")
             opt.orchestrators = static_cast<unsigned>(
-                std::strtoul(need(i, "--orchestrators"), nullptr, 10));
-        else if (arg == "--seed")
-            opt.seed = std::strtoull(need(i, "--seed"), nullptr, 10);
-        else if (arg == "--trace-out")
-            opt.traceOut = need(i, "--trace-out");
-        else if (arg == "--metrics-out")
-            opt.metricsOut = need(i, "--metrics-out");
-        else if (arg == "--csv")
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (flag == "--seed")
+            opt.seed = std::strtoull(value().c_str(), nullptr, 10);
+        else if (flag == "--trace-out")
+            opt.traceOut = value();
+        else if (flag == "--metrics-out")
+            opt.metricsOut = value();
+        else if (flag == "--fault-plan")
+            opt.faultPlan = value();
+        else if (flag == "--timeout-us")
+            opt.timeoutUs = std::strtod(value().c_str(), nullptr);
+        else if (flag == "--max-retries")
+            opt.maxRetries = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (flag == "--retry-backoff-us")
+            opt.retryBackoffUs = std::strtod(value().c_str(), nullptr);
+        else if (flag == "--shed-cap")
+            opt.shedCap = static_cast<std::size_t>(
+                std::strtoull(value().c_str(), nullptr, 10));
+        else if (flag == "--csv")
             opt.csv = true;
-        else if (arg == "--sweep") {
-            const char *spec = need(i, "--sweep");
-            if (std::sscanf(spec, "%lf:%lf:%u", &opt.sweepLo,
+        else if (flag == "--sweep") {
+            std::string spec = value();
+            if (std::sscanf(spec.c_str(), "%lf:%lf:%u", &opt.sweepLo,
                             &opt.sweepHi, &opt.sweepN) != 3)
-                sim::fatal("--sweep expects LO:HI:N, got '%s'", spec);
+                sim::fatal("--sweep expects LO:HI:N, got '%s'",
+                           spec.c_str());
             opt.sweep = true;
-        } else if (arg == "--help" || arg == "-h") {
-            std::printf("see the header of tools/jordsim.cc\n");
+        } else if (flag == "--help" || flag == "-h") {
+            printUsage();
             std::exit(0);
         } else {
             sim::fatal("unknown flag '%s' (try --help)", arg.c_str());
@@ -156,6 +227,12 @@ makeWorkerConfig(const Options &opt)
     cfg.system = parseSystem(opt.system);
     cfg.numOrchestrators = opt.orchestrators;
     cfg.seed = opt.seed;
+    if (!opt.faultPlan.empty())
+        cfg.faultPlan = fault::FaultPlan::parse(opt.faultPlan);
+    cfg.timeoutUs = opt.timeoutUs;
+    cfg.maxRetries = opt.maxRetries;
+    cfg.retryBackoffUs = opt.retryBackoffUs;
+    cfg.shedCap = opt.shedCap;
     return cfg;
 }
 
@@ -202,13 +279,22 @@ runOnce(const Options &opt)
 
     if (opt.csv) {
         std::printf("workload,system,offered_mrps,achieved_mrps,"
-                    "mean_us,p50_us,p99_us,invocations,utilization\n");
-        std::printf("%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%.4f\n",
+                    "mean_us,p50_us,p99_us,invocations,utilization,"
+                    "completed,failed,timedout,shed,retries\n");
+        std::printf("%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%llu,%.4f,"
+                    "%llu,%llu,%llu,%llu,%llu\n",
                     opt.workload.c_str(), opt.system.c_str(), opt.mrps,
                     res.achievedMrps, res.latencyUs.mean(),
                     res.latencyUs.p50(), res.latencyUs.p99(),
                     static_cast<unsigned long long>(res.invocations),
-                    res.executorUtilization);
+                    res.executorUtilization,
+                    static_cast<unsigned long long>(
+                        res.completedRequests),
+                    static_cast<unsigned long long>(res.failedRequests),
+                    static_cast<unsigned long long>(
+                        res.timedOutRequests),
+                    static_cast<unsigned long long>(res.shedRequests),
+                    static_cast<unsigned long long>(res.retries));
         return 0;
     }
 
@@ -227,6 +313,19 @@ runOnce(const Options &opt)
                     static_cast<double>(
                         std::max<std::uint64_t>(1,
                                                 res.completedRequests)));
+    std::printf("  outcomes     %llu completed, %llu failed, "
+                "%llu timed out, %llu shed (%llu retries)\n",
+                static_cast<unsigned long long>(res.completedRequests),
+                static_cast<unsigned long long>(res.failedRequests),
+                static_cast<unsigned long long>(res.timedOutRequests),
+                static_cast<unsigned long long>(res.shedRequests),
+                static_cast<unsigned long long>(res.retries));
+    if (res.faultsInjected || res.abortedInvocations)
+        std::printf("  faults       %llu injected, %llu invocations "
+                    "aborted and reclaimed\n",
+                    static_cast<unsigned long long>(res.faultsInjected),
+                    static_cast<unsigned long long>(
+                        res.abortedInvocations));
     std::printf("  utilization  %.0f%% of %u executors\n",
                 100.0 * res.executorUtilization, worker.numExecutors());
     double ghz = worker.config().machine.freqGhz;
