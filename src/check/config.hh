@@ -1,0 +1,37 @@
+/**
+ * @file
+ * JordSan configuration: which checker families run.
+ */
+
+#ifndef JORD_CHECK_CONFIG_HH
+#define JORD_CHECK_CONFIG_HH
+
+#include <string>
+
+namespace jord::check {
+
+/** Enabled checker families (jordsim --check=access,vlb,difftable). */
+struct CheckConfig {
+    bool access = false;    ///< access/lifecycle sanitizer
+    bool vlb = false;       ///< VLB-coherence oracle
+    bool difftable = false; ///< differential VMA-table checker
+
+    bool any() const { return access || vlb || difftable; }
+
+    static CheckConfig
+    all()
+    {
+        return CheckConfig{true, true, true};
+    }
+
+    /**
+     * Parse a `--check` value: "" enables every family; otherwise a
+     * comma-separated subset of access,vlb,difftable. Returns false on
+     * an unknown family name.
+     */
+    static bool parse(const std::string &spec, CheckConfig &out);
+};
+
+} // namespace jord::check
+
+#endif // JORD_CHECK_CONFIG_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * JordSan hook interface: the event stream the checked system emits.
+ *
+ * UatSystem and PrivLib hold a `CheckHooks *` that is null unless a
+ * sanitizer is attached (jordsim --check, or the test fixture). Every
+ * hook call sits behind a pointer guard, mirroring the tracer pattern,
+ * and no hook ever charges latency — a run with checking enabled is
+ * timing-identical to one without.
+ *
+ * The interface is header-only with no-op defaults so that jord_uat and
+ * jord_privlib depend only on this header, not on the jord_check
+ * library (the concrete Checker lives there and links *against*
+ * jord_uat for the mirror tables).
+ */
+
+#ifndef JORD_CHECK_HOOKS_HH
+#define JORD_CHECK_HOOKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "uat/fault.hh"
+#include "uat/vlb.hh"
+#include "uat/vte.hh"
+
+namespace jord::check {
+
+/**
+ * Observation points of the isolation machinery. All callbacks are
+ * informational: implementations must not mutate the observed system.
+ */
+class CheckHooks
+{
+  public:
+    virtual ~CheckHooks() = default;
+
+    // --- UAT access path (hardware side) ---------------------------
+
+    /**
+     * A timed load/store/fetch finished resolving.
+     *
+     * @param corePriv the core's P-bit state *before* the access.
+     * @param uatEnabled the core's uatp enable bit at access time.
+     * @param actual the fault the real hardware raised (None if the
+     *        access was permitted).
+     */
+    virtual void
+    onAccess(unsigned core, sim::Addr va, uat::Perm need, uat::PdId pd,
+             bool corePriv, bool isFetch, bool uatEnabled,
+             uat::Fault actual)
+    {
+        (void)core; (void)va; (void)need; (void)pd; (void)corePriv;
+        (void)isFetch; (void)uatEnabled; (void)actual;
+    }
+
+    /** A VTW walk installed @p entry into core's I- or D-VLB. */
+    virtual void
+    onVlbFill(unsigned core, bool isInstr, const uat::VlbEntry &entry)
+    {
+        (void)core; (void)isInstr; (void)entry;
+    }
+
+    /** An access translated through a cached VLB entry (a hit). */
+    virtual void
+    onVlbUse(unsigned core, bool isInstr, sim::Addr vteAddr,
+             uat::PdId pd)
+    {
+        (void)core; (void)isInstr; (void)vteAddr; (void)pd;
+    }
+
+    /**
+     * A T-bit write to @p vteAddr invalidated the VLBs of @p targets
+     * (always including the writing core itself). A local-only
+     * refresh reports targets == {writerCore}.
+     */
+    virtual void
+    onShootdown(sim::Addr vteAddr, unsigned writerCore,
+                const std::vector<unsigned> &targets)
+    {
+        (void)vteAddr; (void)writerCore; (void)targets;
+    }
+
+    /**
+     * A VTD capacity eviction back-invalidated @p targets' VLB copies
+     * of @p vteAddr. Unlike a shootdown this carries no semantic
+     * change to the translation: untargeted holders stay coherent.
+     */
+    virtual void
+    onBackInvalidate(sim::Addr vteAddr,
+                     const std::vector<unsigned> &targets)
+    {
+        (void)vteAddr; (void)targets;
+    }
+
+    /** A uatg call gate was registered at @p va. */
+    virtual void onGateAdded(sim::Addr va) { (void)va; }
+
+    // --- PrivLib mutations (software side) -------------------------
+    //
+    // All PrivLib hooks fire only on *successful* operations, after
+    // the real VMA table was updated; @p vte snapshots the final VTE
+    // content so the differential table checker can replay it.
+
+    virtual void
+    onVmaMapped(unsigned core, uat::PdId pd, sim::Addr base,
+                std::uint64_t len, uat::Perm prot, sim::Addr vteAddr,
+                const uat::Vte &vte)
+    {
+        (void)core; (void)pd; (void)base; (void)len; (void)prot;
+        (void)vteAddr; (void)vte;
+    }
+
+    virtual void
+    onVmaUnmapped(unsigned core, sim::Addr base)
+    {
+        (void)core; (void)base;
+    }
+
+    /** mprotect: resize to @p newLen and set @p pd's perm to @p prot. */
+    virtual void
+    onVmaProtected(unsigned core, uat::PdId pd, sim::Addr base,
+                   std::uint64_t newLen, uat::Perm prot,
+                   const uat::Vte &vte)
+    {
+        (void)core; (void)pd; (void)base; (void)newLen; (void)prot;
+        (void)vte;
+    }
+
+    /** pmove/pmoveBetween: @p src's permission moved to @p dst. */
+    virtual void
+    onPermMoved(unsigned core, sim::Addr base, uat::PdId src,
+                uat::PdId dst, uat::Perm prot, const uat::Vte &vte)
+    {
+        (void)core; (void)base; (void)src; (void)dst; (void)prot;
+        (void)vte;
+    }
+
+    /** pcopy: @p src's permission copied to @p dst. */
+    virtual void
+    onPermCopied(unsigned core, sim::Addr base, uat::PdId src,
+                 uat::PdId dst, uat::Perm prot, const uat::Vte &vte)
+    {
+        (void)core; (void)base; (void)src; (void)dst; (void)prot;
+        (void)vte;
+    }
+
+    virtual void
+    onPdCreated(uat::PdId pd, uat::PdId creator)
+    {
+        (void)pd; (void)creator;
+    }
+
+    virtual void onPdDestroyed(uat::PdId pd) { (void)pd; }
+
+    /** ccall/center switched @p core into @p pd. */
+    virtual void
+    onDomainEnter(unsigned core, uat::PdId pd)
+    {
+        (void)core; (void)pd;
+    }
+
+    /** cexit returned @p core to @p pd. */
+    virtual void
+    onDomainExit(unsigned core, uat::PdId pd)
+    {
+        (void)core; (void)pd;
+    }
+};
+
+} // namespace jord::check
+
+#endif // JORD_CHECK_HOOKS_HH

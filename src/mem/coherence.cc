@@ -107,11 +107,16 @@ CoherenceEngine::read(unsigned core, Addr addr, bool tbit)
     Access acc;
 
     if (line.state != CacheState::Invalid && line.sharers.test(core)) {
-        // L1 hit in any valid state.
+        // L1 hit in any valid state. Translation reads still register
+        // with the VTD: a VLB fill served from the local L1 is a
+        // sharer that later shootdowns must reach even after this
+        // block leaves the L1 (and with it the directory's list).
         acc.l1Hit = true;
         acc.latency = cfg_.l1HitCycles;
         ++stats_.l1Hits;
         touchL1(core, addr);
+        if (tbit && observer_)
+            observer_->translationRead(core, addr);
         return acc;
     }
 

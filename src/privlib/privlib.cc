@@ -4,6 +4,7 @@
 #include <iterator>
 #include <string>
 
+#include "check/hooks.hh"
 #include "sim/logging.hh"
 #include "trace/metrics.hh"
 
@@ -36,12 +37,14 @@ refillChunks(unsigned sc)
 
 PrivLib::PrivLib(const sim::MachineConfig &cfg,
                  mem::CoherenceEngine &coherence, uat::UatSystem &uat,
-                 uat::VmaTableBase &table, os::Kernel &kernel)
+                 uat::VmaTableBase &table, os::Kernel &kernel,
+                 check::CheckHooks *checker)
     : cfg_(cfg),
       coherence_(coherence),
       uat_(uat),
       table_(table),
       kernel_(kernel),
+      checker_(checker),
       pds_(uat::kMaxPdId + 1),
       domainStack_(cfg.numCores)
 {
@@ -359,6 +362,9 @@ PrivLib::mmapInternal(unsigned core, PdId pd, std::uint64_t len,
     res.ok = true;
     res.value = vma_base;
     account(op, res.latency);
+    if (checker_)
+        checker_->onVmaMapped(core, pd, vma_base, len, prot,
+                              table_.vteAddrOf(vma_base), *vte);
     return res;
 }
 
@@ -492,6 +498,8 @@ PrivLib::munmap(unsigned core, Addr va, std::uint64_t len)
 
     res.ok = true;
     account(PrivOp::Munmap, res.latency);
+    if (checker_)
+        checker_->onVmaUnmapped(core, va);
     return res;
 }
 
@@ -542,6 +550,8 @@ PrivLib::mprotect(unsigned core, Addr va, std::uint64_t len, Perm prot)
     res.latency += uat_.vteWrite(core, vte_addr);
     res.ok = true;
     account(PrivOp::Mprotect, res.latency);
+    if (checker_)
+        checker_->onVmaProtected(core, pd, va, len, prot, *vte);
     return res;
 }
 
@@ -585,6 +595,8 @@ PrivLib::pmove(unsigned core, Addr va, PdId dst, Perm prot)
     res.latency += uat_.vteWrite(core, vte_addr);
     res.ok = true;
     account(PrivOp::Pmove, res.latency);
+    if (checker_)
+        checker_->onPermMoved(core, va, src, dst, prot, *vte);
     return res;
 }
 
@@ -623,6 +635,8 @@ PrivLib::pmoveBetween(unsigned core, Addr va, PdId src, PdId dst,
     res.latency += uat_.vteWrite(core, table_.vteAddrOf(va));
     res.ok = true;
     account(PrivOp::Pmove, res.latency);
+    if (checker_)
+        checker_->onPermMoved(core, va, src, dst, prot, *vte);
     return res;
 }
 
@@ -666,6 +680,8 @@ PrivLib::pcopy(unsigned core, Addr va, PdId dst, Perm prot)
     res.latency += coherence_.write(core, vte_addr).latency;
     res.ok = true;
     account(PrivOp::Pcopy, res.latency);
+    if (checker_)
+        checker_->onPermCopied(core, va, src, dst, prot, *vte);
     return res;
 }
 
@@ -691,6 +707,8 @@ PrivLib::cget(unsigned core)
     res.ok = true;
     res.value = id;
     account(PrivOp::Cget, res.latency);
+    if (checker_)
+        checker_->onPdCreated(id, pds_[id].creator);
     return res;
 }
 
@@ -721,6 +739,8 @@ PrivLib::cput(unsigned core, PdId pd)
     listPush(core, pdList_, pd, res.latency);
     res.ok = true;
     account(PrivOp::Cput, res.latency);
+    if (checker_)
+        checker_->onPdDestroyed(pd);
     return res;
 }
 
@@ -745,6 +765,8 @@ PrivLib::ccall(unsigned core, PdId pd)
     res.latency += 1;
     res.ok = true;
     account(PrivOp::Ccall, res.latency);
+    if (checker_)
+        checker_->onDomainEnter(core, pd);
     return res;
 }
 
@@ -769,6 +791,8 @@ PrivLib::center(unsigned core, PdId pd)
     res.latency += 1;
     res.ok = true;
     account(PrivOp::Center, res.latency);
+    if (checker_)
+        checker_->onDomainEnter(core, pd);
     return res;
 }
 
@@ -788,6 +812,8 @@ PrivLib::cexit(unsigned core)
     res.latency += 1;
     res.ok = true;
     account(PrivOp::Cexit, res.latency);
+    if (checker_)
+        checker_->onDomainExit(core, uat_.csrFile(core).ucid);
     return res;
 }
 

@@ -30,6 +30,10 @@
 #include "uat/uat_system.hh"
 #include "uat/vma_table.hh"
 
+namespace jord::check {
+class CheckHooks;
+} // namespace jord::check
+
 namespace jord::trace {
 class Counter;
 class MetricsRegistry;
@@ -85,9 +89,15 @@ class PrivLib
     /** The trusted runtime protection domain (orchestrator/executors). */
     static constexpr uat::PdId kRootPd = 0;
 
+    /**
+     * @param checker Optional JordSan hooks; when attached, every
+     * successful mutation is reported after the real table update
+     * (including the bootstrap VMAs created by this constructor).
+     */
     PrivLib(const sim::MachineConfig &cfg,
             mem::CoherenceEngine &coherence, uat::UatSystem &uat,
-            uat::VmaTableBase &table, os::Kernel &kernel);
+            uat::VmaTableBase &table, os::Kernel &kernel,
+            check::CheckHooks *checker = nullptr);
 
     PrivLib(const PrivLib &) = delete;
     PrivLib &operator=(const PrivLib &) = delete;
@@ -230,6 +240,7 @@ class PrivLib
     uat::UatSystem &uat_;
     uat::VmaTableBase &table_;
     os::Kernel &kernel_;
+    check::CheckHooks *checker_ = nullptr;
     PrivCosts costs_;
     bool bypass_ = false;
 

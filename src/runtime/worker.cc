@@ -49,9 +49,16 @@ WorkerServer::WorkerServer(WorkerConfig cfg, FunctionRegistry registry)
         table_ = std::make_unique<uat::PlainListVmaTable>(encoding);
 
     uat_ = std::make_unique<uat::UatSystem>(m, *coherence_, *table_);
+    if (cfg_.check.any()) {
+        checker_ = std::make_unique<check::Checker>(cfg_.check,
+                                                    encoding);
+        checker_->setClock([this] { return events_.curTick(); });
+        uat_->setChecker(checker_.get());
+    }
     kernel_ = std::make_unique<os::Kernel>(m);
     privlib_ = std::make_unique<privlib::PrivLib>(m, *coherence_, *uat_,
-                                                  *table_, *kernel_);
+                                                  *table_, *kernel_,
+                                                  checker_.get());
     if (cfg_.system == SystemKind::JordNI)
         privlib_->setIsolationBypass(true);
 
@@ -156,6 +163,8 @@ WorkerServer::setTracer(trace::Tracer *tracer)
 {
     tracer_ = tracer;
     uat_->setTracer(tracer);
+    if (checker_)
+        checker_->setTracer(tracer);
     if (!tracer)
         return;
     tracer->setClock([this] { return events_.curTick(); });
@@ -198,6 +207,8 @@ WorkerServer::attachMetrics(trace::MetricsRegistry &registry)
         &registry.distribution("runtime.retry.delay_ns");
     privlib_->attachMetrics(registry);
     uat_->attachMetrics(registry);
+    if (checker_)
+        checker_->attachMetrics(registry);
 }
 
 void
@@ -307,6 +318,8 @@ WorkerServer::orchEnqueue(unsigned orch, Request req)
                                uat::faultName(un.fault));
                 busy += un.latency;
                 --liveArgBufs_;
+                if (checker_)
+                    checker_->argBufFreed(req.argBuf);
             }
             recordTerminalFailure(req, Outcome::TimedOut,
                                   events_.curTick() + busy);
@@ -323,6 +336,8 @@ WorkerServer::orchEnqueue(unsigned orch, Request req)
                     sim::panic("shed munmap failed: %s",
                                uat::faultName(un.fault));
                 --liveArgBufs_;
+                if (checker_)
+                    checker_->argBufFreed(req.argBuf);
             }
             cancelDeadline(req.id);
             if (result_ && req.measured)
@@ -420,6 +435,8 @@ WorkerServer::orchDispatchStep(unsigned orch)
                         o.core, inv.req.argBuf, inv.req.argBytes);
                     busy += res.latency;
                     --liveArgBufs_;
+                    if (checker_)
+                        checker_->argBufFreed(inv.req.argBuf);
                 }
                 if (inv.req.measured && result_) {
                     double us = sim::cyclesToUs(
@@ -466,6 +483,9 @@ WorkerServer::orchDispatchStep(unsigned orch)
                 req.argBuf = res.value;
                 req.producerCore = o.core;
                 ++liveArgBufs_;
+                if (checker_)
+                    checker_->argBufMapped(req.argBuf, req.argBytes,
+                                           req.id);
                 busy += res.latency;
                 busy += touchArgBuf(o.core, req.argBuf, req.argBytes,
                                     true);
@@ -857,6 +877,9 @@ WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
                        uat::faultName(ab.fault));
         child.argBuf = ab.value;
         ++liveArgBufs_;
+        if (checker_)
+            checker_->argBufMapped(child.argBuf, call.argBytes,
+                                   child.id);
         busy += ab.latency;
         inv.bd.isolation += ab.latency + gate.latency;
         if (tracer_)
@@ -886,6 +909,9 @@ WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
             sim::panic("child ArgBuf mmap failed (NI)");
         child.argBuf = ab.value;
         ++liveArgBufs_;
+        if (checker_)
+            checker_->argBufMapped(child.argBuf, call.argBytes,
+                                   child.id);
         busy += ab.latency;
         inv.bd.isolation += ab.latency;
         if (tracer_)
@@ -968,6 +994,8 @@ WorkerServer::consumeChildResults(Invocation &inv, Tick at,
                 inv.bd.isolation += un.latency;
                 iso_total += un.latency;
                 --liveArgBufs_;
+                if (checker_)
+                    checker_->argBufFreed(result.argBuf);
             }
             break;
           }
@@ -1340,9 +1368,14 @@ WorkerServer::startInvocation(unsigned exec, Request req)
     }
 
     Tick base = events_.curTick();
+    if (checker_)
+        checker_->setCoreContext(coreOfExec(exec), inv.req.id,
+                                 inv.span);
     Cycles busy = invocationPrologue(inv, base);
     inv.prologueDone = true;
     busy += runUntilBlocked(inv, base + busy);
+    if (checker_)
+        checker_->clearCoreContext(coreOfExec(exec));
     scheduleExecCompletion(exec, inv.req.id, busy);
 }
 
@@ -1355,6 +1388,9 @@ WorkerServer::resumeInvocation(unsigned exec, Invocation &inv)
     inv.state = InvState::Running;
 
     Tick base = events_.curTick();
+    if (checker_)
+        checker_->setCoreContext(coreOfExec(exec), inv.req.id,
+                                 inv.span);
     bool child_failed = false;
     Cycles busy = consumeChildResults(inv, base, child_failed);
 
@@ -1383,11 +1419,15 @@ WorkerServer::resumeInvocation(unsigned exec, Invocation &inv)
             busy += abortReclaim(inv, base + busy, true);
             inv.state = InvState::Done;
         }
+        if (checker_)
+            checker_->clearCoreContext(coreOfExec(exec));
         scheduleExecCompletion(exec, inv.req.id, busy);
         return;
     }
 
     busy += runUntilBlocked(inv, base + busy);
+    if (checker_)
+        checker_->clearCoreContext(coreOfExec(exec));
     scheduleExecCompletion(exec, inv.req.id, busy);
 }
 
@@ -1553,6 +1593,8 @@ WorkerServer::abortReclaim(Invocation &inv, Tick at, bool in_pd)
                            uat::faultName(un.fault));
             busy += un.latency;
             --liveArgBufs_;
+            if (checker_)
+                checker_->argBufFreed(r.argBuf);
         }
         inv.childResults.clear();
 
@@ -1609,6 +1651,8 @@ WorkerServer::abortReclaim(Invocation &inv, Tick at, bool in_pd)
                 sim::panic("abort result munmap failed (NI)");
             busy += un.latency;
             --liveArgBufs_;
+            if (checker_)
+                checker_->argBufFreed(r.argBuf);
         }
         inv.childResults.clear();
         privlib::PrivResult un = privlib_->munmap(
@@ -1678,6 +1722,8 @@ WorkerServer::onDeadline(unsigned orch, RequestId id)
                            uat::faultName(un.fault));
             busy += un.latency;
             --liveArgBufs_;
+            if (checker_)
+                checker_->argBufFreed(req.argBuf);
         }
         recordTerminalFailure(req, Outcome::TimedOut,
                               events_.curTick() + busy);
@@ -1727,6 +1773,8 @@ WorkerServer::settleFailedAttempt(Request req, Outcome outcome,
                        uat::faultName(un.fault));
         extra += un.latency;
         --liveArgBufs_;
+        if (checker_)
+            checker_->argBufFreed(req.argBuf);
     }
     if (expired) {
         // Whatever killed the last attempt, the client saw a timeout.
@@ -1798,6 +1846,8 @@ WorkerServer::verifyQuiescent()
     if (isJordFamily() && privlib_->numLivePds() != 1)
         sim::panic("PD leak: %u protection domains still live "
                    "(expected only root)", privlib_->numLivePds());
+    if (checker_)
+        checker_->onRunEnd();
 }
 
 double

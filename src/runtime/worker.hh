@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "baseline/nightcore.hh"
+#include "check/check.hh"
 #include "fault/fault.hh"
 #include "mem/coherence.hh"
 #include "noc/mesh.hh"
@@ -82,6 +83,13 @@ struct WorkerConfig {
     /** Max queued external requests per orchestrator before shedding
      * (0 = never shed). Internal queues are never shed (§3.3). */
     std::size_t shedCap = 0;
+
+    /**
+     * JordSan checker families to enable (all disabled by default;
+     * with no family enabled no checker is constructed and runs are
+     * byte-identical to a build without the subsystem).
+     */
+    check::CheckConfig check;
 };
 
 /** Weighted entry-point mix for external requests. */
@@ -199,6 +207,9 @@ class WorkerServer
     /** ArgBuf VMAs currently mapped by the runtime (leak checker). */
     std::uint64_t liveArgBufs() const { return liveArgBufs_; }
 
+    /** The JordSan checker (null unless cfg.check enables a family). */
+    check::Checker *checker() const { return checker_.get(); }
+
     /**
      * Register this worker's counters/gauges/distributions (and those
      * of its PrivLib and UAT) into @p registry. The registry must
@@ -241,6 +252,9 @@ class WorkerServer
     std::unique_ptr<mem::CoherenceEngine> coherence_;
     std::unique_ptr<uat::VmaTableBase> table_;
     std::unique_ptr<uat::UatSystem> uat_;
+    /** JordSan shadow-model checker (must outlive uat_/privlib_ use,
+     * constructed before privlib_ so bootstrap VMAs are observed). */
+    std::unique_ptr<check::Checker> checker_;
     std::unique_ptr<os::Kernel> kernel_;
     std::unique_ptr<privlib::PrivLib> privlib_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/hooks.hh"
 #include "sim/logging.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
@@ -82,6 +83,9 @@ UatSystem::vtwWalk(unsigned core, Addr va, PdId pd, Vlb &target)
     out.entry.global = vte.global();
     out.entry.pd = pd;
     target.insert(out.entry);
+    if (checker_)
+        checker_->onVlbFill(core, &target == ivlbs_[core].get(),
+                            out.entry);
     return out;
 }
 
@@ -103,6 +107,9 @@ UatSystem::resolve(unsigned core, Addr va, Perm need, Vlb &vlb)
         // VLB probe overlaps the L1 access: no extra latency.
         if (vlbHits_)
             vlbHits_->add();
+        if (checker_)
+            checker_->onVlbUse(core, &vlb == ivlbs_[core].get(),
+                               entry.vteAddr, pd);
     } else {
         if (vlbMisses_)
             vlbMisses_->add();
@@ -146,22 +153,31 @@ UatSystem::resolve(unsigned core, Addr va, Perm need, Vlb &vlb)
 UatAccess
 UatSystem::dataAccess(unsigned core, Addr va, Perm need)
 {
-    return resolve(core, va, need, *dvlbs_[core]);
+    UatAccess acc = resolve(core, va, need, *dvlbs_[core]);
+    if (checker_)
+        checker_->onAccess(core, va, need, csrs_[core].ucid,
+                           pbit_[core], false, csrs_[core].enabled(),
+                           acc.fault);
+    return acc;
 }
 
 UatAccess
 UatSystem::fetch(unsigned core, Addr va)
 {
-    UatAccess acc = resolve(core, va, Perm(Perm::X), *ivlbs_[core]);
-    if (!acc.ok())
-        return acc;
     bool was_priv = pbit_[core];
-    if (!was_priv && acc.pbit && !isGate(va)) {
-        // 0 -> 1 transition of the P bit must land on a uatg gate.
-        acc.fault = Fault::BadGate;
-        return acc;
+    UatAccess acc = resolve(core, va, Perm(Perm::X), *ivlbs_[core]);
+    if (acc.ok()) {
+        if (!was_priv && acc.pbit && !isGate(va)) {
+            // 0 -> 1 transition of the P bit must land on a uatg gate.
+            acc.fault = Fault::BadGate;
+        } else {
+            pbit_[core] = acc.pbit;
+        }
     }
-    pbit_[core] = acc.pbit;
+    if (checker_)
+        checker_->onAccess(core, va, Perm(Perm::X), csrs_[core].ucid,
+                           was_priv, true, csrs_[core].enabled(),
+                           acc.fault);
     return acc;
 }
 
@@ -169,6 +185,8 @@ void
 UatSystem::addGate(Addr va)
 {
     gates_.insert(va);
+    if (checker_)
+        checker_->onGateAdded(va);
 }
 
 bool
@@ -234,7 +252,8 @@ UatSystem::vteWrite(unsigned core, Addr vte_addr)
 void
 UatSystem::translationRead(unsigned core, Addr addr)
 {
-    vtd_.addSharer(addr, core);
+    if (auto evicted = vtd_.addSharer(addr, core))
+        backInvalidate(*evicted);
 }
 
 Cycles
@@ -242,12 +261,15 @@ UatSystem::translationWrite(unsigned core, Addr addr,
                             const mem::CoreMask &dir)
 {
     vtd_.mutableStats().writes++;
-    mem::CoreMask targets;
+    // Fan out to the union of both sharer trackers: the VTD covers
+    // cores whose VTE block left their L1 after the fill, the
+    // coherence directory covers cores whose fill hit in their own L1
+    // and therefore never registered with the VTD. Either alone can
+    // miss a live VLB holder.
+    mem::CoreMask targets = dir;
     if (auto tracked = vtd_.sharers(addr)) {
-        targets = *tracked;
+        targets |= *tracked;
     } else {
-        // Untracked: fall back pessimistically to the directory sharers.
-        targets = dir;
         vtd_.mutableStats().pessimistic++;
         if (shootdownsPessimistic_)
             shootdownsPessimistic_->add();
@@ -256,9 +278,14 @@ UatSystem::translationWrite(unsigned core, Addr addr,
 
     unsigned home = coherence_.mesh().homeSlice(addr, core);
     Cycles full_worst = 0; // total shootdown completion time
+    std::vector<unsigned> notified;
     targets.forEach([&](unsigned sharer) {
+        if (static_cast<int>(sharer) == debugSkipShootdownCore_)
+            return; // negative-test knob: drop this fan-out leg
         ivlbs_[sharer]->invalidateVte(addr);
         dvlbs_[sharer]->invalidateVte(addr);
+        if (checker_)
+            notified.push_back(sharer);
         if (sharer == core)
             return;
         Cycles rt = coherence_.mesh().roundTrip(home, sharer,
@@ -266,8 +293,15 @@ UatSystem::translationWrite(unsigned core, Addr addr,
         full_worst = std::max(full_worst, rt);
     });
     // The writer's own VLBs are refreshed locally as well.
-    ivlbs_[core]->invalidateVte(addr);
-    dvlbs_[core]->invalidateVte(addr);
+    if (static_cast<int>(core) != debugSkipShootdownCore_) {
+        ivlbs_[core]->invalidateVte(addr);
+        dvlbs_[core]->invalidateVte(addr);
+        if (checker_ && std::find(notified.begin(), notified.end(),
+                                  core) == notified.end())
+            notified.push_back(core);
+    }
+    if (checker_)
+        checker_->onShootdown(addr, core, notified);
 
     // The invalidation fan-out proceeds in hardware, parallel to the
     // writer (§4.2/§6.3: the shootdown completes when the furthest core
@@ -294,16 +328,59 @@ UatSystem::translationWrite(unsigned core, Addr addr,
 void
 UatSystem::translationWriteLocal(unsigned core, Addr addr)
 {
-    // Dirty hit in the writer's L1: local-only invalidation (§4.2).
-    ivlbs_[core]->invalidateVte(addr);
-    dvlbs_[core]->invalidateVte(addr);
+    // Dirty hit in the writer's L1. Exclusive block ownership does NOT
+    // imply no remote VLB holders: a non-T write to the same VTE (a
+    // pcopy permission grant) acquires exclusivity without flushing
+    // anyone's VLB. The VTD still tracks every fill, so consult it and
+    // fan out to any remote sharers; only a genuinely private
+    // translation takes the cheap local-only path.
     vtd_.mutableStats().writes++;
+    std::vector<unsigned> notified;
+    if (auto tracked = vtd_.sharers(addr)) {
+        tracked->forEach([&](unsigned sharer) {
+            if (static_cast<int>(sharer) == debugSkipShootdownCore_)
+                return;
+            ivlbs_[sharer]->invalidateVte(addr);
+            dvlbs_[sharer]->invalidateVte(addr);
+            if (checker_)
+                notified.push_back(sharer);
+        });
+        vtd_.remove(addr);
+    }
+    if (static_cast<int>(core) != debugSkipShootdownCore_) {
+        ivlbs_[core]->invalidateVte(addr);
+        dvlbs_[core]->invalidateVte(addr);
+        if (checker_ && std::find(notified.begin(), notified.end(),
+                                  core) == notified.end())
+            notified.push_back(core);
+    }
+    if (checker_)
+        checker_->onShootdown(addr, core, notified);
 }
 
 void
 UatSystem::directoryEvict(Addr addr, const mem::CoreMask &dir)
 {
-    vtd_.installPessimistic(addr, dir);
+    if (auto evicted = vtd_.installPessimistic(addr, dir))
+        backInvalidate(*evicted);
+}
+
+void
+UatSystem::backInvalidate(const Vtd::Evicted &evicted)
+{
+    // A VTD capacity eviction loses the victim translation's sharer
+    // list; flush those cores' VLB copies eagerly so no holder survives
+    // untracked (inclusive-directory back-invalidation). The fan-out
+    // runs in hardware off the critical path; no latency is charged.
+    std::vector<unsigned> flushed;
+    evicted.sharers.forEach([&](unsigned sharer) {
+        ivlbs_[sharer]->invalidateVte(evicted.tag);
+        dvlbs_[sharer]->invalidateVte(evicted.tag);
+        if (checker_)
+            flushed.push_back(sharer);
+    });
+    if (checker_)
+        checker_->onBackInvalidate(evicted.tag, flushed);
 }
 
 } // namespace jord::uat

@@ -24,6 +24,10 @@
 #include "uat/vma_table.hh"
 #include "uat/vtd.hh"
 
+namespace jord::check {
+class CheckHooks;
+} // namespace jord::check
+
 namespace jord::trace {
 class Counter;
 class Distribution;
@@ -141,6 +145,21 @@ class UatSystem : public mem::TranslationObserver
      * this object). */
     void attachMetrics(trace::MetricsRegistry &registry);
 
+    /** Attach (or detach, with nullptr) a JordSan checker; accesses,
+     * VLB fills/hits, and shootdown fan-outs are reported while
+     * attached. Hooks never charge latency. */
+    void setChecker(check::CheckHooks *checker) { checker_ = checker; }
+
+    /**
+     * Negative-test knob: skip the shootdown invalidation of one core
+     * (-1 = off). Simulates a broken VTD fan-out so tests can prove
+     * the VLB-coherence oracle catches it.
+     */
+    void debugSkipShootdownCore(int core)
+    {
+        debugSkipShootdownCore_ = core;
+    }
+
     // --- TranslationObserver ------------------------------------------
 
     void translationRead(unsigned core, sim::Addr addr) override;
@@ -151,6 +170,9 @@ class UatSystem : public mem::TranslationObserver
                         const mem::CoreMask &dir) override;
 
   private:
+    /** Flush a VTD eviction victim's sharers from their VLBs. */
+    void backInvalidate(const Vtd::Evicted &evicted);
+
     const sim::MachineConfig &cfg_;
     mem::CoherenceEngine &coherence_;
     VmaTableBase &table_;
@@ -163,6 +185,8 @@ class UatSystem : public mem::TranslationObserver
     stats::Sampler shootdownLatency_;
 
     // Optional observability hooks (all null when not attached).
+    check::CheckHooks *checker_ = nullptr;
+    int debugSkipShootdownCore_ = -1;
     trace::Tracer *tracer_ = nullptr;
     trace::Counter *vlbHits_ = nullptr;
     trace::Counter *vlbMisses_ = nullptr;

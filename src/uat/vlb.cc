@@ -36,10 +36,13 @@ Vlb::insert(const VlbEntry &entry)
 {
     VlbEntry *victim = nullptr;
     for (auto &slot : entries_) {
-        // Replace an existing entry for the same (VTE, PD) in place so a
-        // permission change does not leave a stale duplicate.
+        // Replace in place any existing entry the new fill supersedes:
+        // same VTE with overlapping lookup visibility (same PD, or
+        // either entry global). Requiring identical {PD, G} here left
+        // a stale duplicate behind when a permission change flipped
+        // the G bit between two fills of the same VTE.
         if (slot.valid && slot.vteAddr == entry.vteAddr &&
-            slot.pd == entry.pd && slot.global == entry.global) {
+            (slot.global || entry.global || slot.pd == entry.pd)) {
             victim = &slot;
             break;
         }

@@ -45,7 +45,7 @@ Vtd::find(Addr vte_addr) const
 }
 
 Vtd::Entry &
-Vtd::victimIn(Addr vte_addr)
+Vtd::victimIn(Addr vte_addr, std::optional<Evicted> &out)
 {
     std::size_t base = setBase(vte_addr);
     Entry *victim = nullptr;
@@ -57,26 +57,30 @@ Vtd::victimIn(Addr vte_addr)
             victim = &entry;
     }
     ++stats_.evictions;
+    if (victim->sharers.any())
+        out = Evicted{victim->tag, victim->sharers};
     victim->valid = false;
     victim->sharers.reset();
     return *victim;
 }
 
-void
+std::optional<Vtd::Evicted>
 Vtd::addSharer(Addr vte_addr, unsigned core)
 {
     ++stats_.reads;
     if (Entry *entry = find(vte_addr)) {
         entry->sharers.set(core);
         entry->lastUse = ++useClock_;
-        return;
+        return std::nullopt;
     }
-    Entry &entry = victimIn(vte_addr);
+    std::optional<Evicted> evicted;
+    Entry &entry = victimIn(vte_addr, evicted);
     entry.valid = true;
     entry.tag = sim::blockAlign(vte_addr);
     entry.sharers.reset();
     entry.sharers.set(core);
     entry.lastUse = ++useClock_;
+    return evicted;
 }
 
 std::optional<mem::CoreMask>
@@ -97,19 +101,21 @@ Vtd::remove(Addr vte_addr)
     }
 }
 
-void
+std::optional<Vtd::Evicted>
 Vtd::installPessimistic(Addr vte_addr, const mem::CoreMask &sharers)
 {
     if (find(vte_addr) != nullptr)
-        return; // already tracked precisely
+        return std::nullopt; // already tracked precisely
     if (sharers.none())
-        return;
+        return std::nullopt;
     ++stats_.victims;
-    Entry &entry = victimIn(vte_addr);
+    std::optional<Evicted> evicted;
+    Entry &entry = victimIn(vte_addr, evicted);
     entry.valid = true;
     entry.tag = sim::blockAlign(vte_addr);
     entry.sharers = sharers;
     entry.lastUse = ++useClock_;
+    return evicted;
 }
 
 } // namespace jord::uat

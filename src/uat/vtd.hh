@@ -6,10 +6,13 @@
  * which cores' VLBs cache each translation, using the VTE address as a
  * proxy (one VTE per VMA in the plain-list design). T-bit reads register
  * sharers; T-bit writes read out the sharer list and fan out VLB
- * invalidations. When the VTD has no entry it falls back pessimistically
- * to the coherence directory's sharer list, and the directory acts as a
- * victim cache: on directory eviction an untracked translation's sharers
- * are installed into the VTD.
+ * invalidations to it (unioned with the coherence directory's block
+ * sharers, which cover cores whose fills hit in their own L1 and thus
+ * never reached the VTD). The directory acts as a victim cache: on
+ * directory eviction an untracked translation's sharers are installed
+ * into the VTD. A VTD capacity eviction surfaces the victim's sharer
+ * list to the caller, which must back-invalidate those cores' VLBs —
+ * otherwise their entries would be invisible to later shootdowns.
  */
 
 #ifndef JORD_UAT_VTD_HH
@@ -43,8 +46,18 @@ class Vtd
   public:
     Vtd(const sim::MachineConfig &cfg, const noc::Mesh &mesh);
 
-    /** Register @p core as a sharer of translation @p vte_addr. */
-    void addSharer(sim::Addr vte_addr, unsigned core);
+    /** A valid entry displaced by a capacity eviction. */
+    struct Evicted {
+        sim::Addr tag = 0;
+        mem::CoreMask sharers;
+    };
+
+    /**
+     * Register @p core as a sharer of translation @p vte_addr. If the
+     * insert evicts a tracked translation, its identity and sharers
+     * are returned so the caller can back-invalidate their VLBs.
+     */
+    std::optional<Evicted> addSharer(sim::Addr vte_addr, unsigned core);
 
     /** Current sharer list, or nullopt if untracked. */
     std::optional<mem::CoreMask> sharers(sim::Addr vte_addr) const;
@@ -54,10 +67,11 @@ class Vtd
 
     /**
      * Victim-cache install: the coherence directory evicted this block;
-     * adopt its sharer list if we are not already tracking it.
+     * adopt its sharer list if we are not already tracking it. As with
+     * addSharer, a displaced tracked translation is returned.
      */
-    void installPessimistic(sim::Addr vte_addr,
-                            const mem::CoreMask &sharers);
+    std::optional<Evicted> installPessimistic(
+        sim::Addr vte_addr, const mem::CoreMask &sharers);
 
     const VtdStats &stats() const { return stats_; }
     void resetStats() { stats_ = VtdStats{}; }
@@ -84,7 +98,7 @@ class Vtd
     std::size_t setBase(sim::Addr vte_addr) const;
     Entry *find(sim::Addr vte_addr);
     const Entry *find(sim::Addr vte_addr) const;
-    Entry &victimIn(sim::Addr vte_addr);
+    Entry &victimIn(sim::Addr vte_addr, std::optional<Evicted> &out);
 };
 
 } // namespace jord::uat

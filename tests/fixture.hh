@@ -3,6 +3,11 @@
  * Shared test fixture: a fully assembled Jord hardware/software stack
  * (mesh, coherence, VMA table, UAT hardware, kernel, PrivLib) on the
  * default Table 2 machine.
+ *
+ * The JordSan checker is attached with every family enabled, so any
+ * test driving the stack through this fixture is sanitized for free;
+ * TearDown fails the test if a violation was recorded. Negative tests
+ * that provoke violations on purpose call expectViolations() first.
  */
 
 #ifndef JORD_TESTS_FIXTURE_HH
@@ -11,7 +16,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <sstream>
 
+#include "check/check.hh"
 #include "mem/coherence.hh"
 #include "noc/mesh.hh"
 #include "os/kernel.hh"
@@ -35,10 +42,29 @@ class JordStackTest : public ::testing::Test
         else
             table = std::make_unique<uat::PlainListVmaTable>(encoding);
         uat = std::make_unique<uat::UatSystem>(cfg, *coherence, *table);
+        checker = std::make_unique<check::Checker>(
+            check::CheckConfig::all(), encoding);
+        uat->setChecker(checker.get());
         kernel = std::make_unique<os::Kernel>(cfg);
         privlib = std::make_unique<privlib::PrivLib>(
-            cfg, *coherence, *uat, *table, *kernel);
+            cfg, *coherence, *uat, *table, *kernel, checker.get());
     }
+
+    void
+    TearDown() override
+    {
+        if (expectViolations_)
+            return;
+        if (checker->totalViolations() != 0) {
+            std::ostringstream report;
+            checker->report(report);
+            ADD_FAILURE() << "JordSan flagged this test:\n"
+                          << report.str();
+        }
+    }
+
+    /** Negative tests opt out of the zero-violation TearDown gate. */
+    void expectViolations() { expectViolations_ = true; }
 
     /** Allocate a VMA in @p pd and return its base (asserts success). */
     sim::Addr
@@ -65,8 +91,12 @@ class JordStackTest : public ::testing::Test
     std::unique_ptr<mem::CoherenceEngine> coherence;
     std::unique_ptr<uat::VmaTableBase> table;
     std::unique_ptr<uat::UatSystem> uat;
+    std::unique_ptr<check::Checker> checker;
     std::unique_ptr<os::Kernel> kernel;
     std::unique_ptr<privlib::PrivLib> privlib;
+
+  private:
+    bool expectViolations_ = false;
 };
 
 } // namespace jord::test

@@ -231,14 +231,18 @@ struct RecordingObserver : TranslationObserver {
     }
 };
 
-TEST_F(CoherenceTest, TbitReadNotifiesObserverOnlyOnMiss)
+TEST_F(CoherenceTest, TbitReadNotifiesObserverOnHitsToo)
 {
+    // Every translation read registers the sharer, L1 hits included:
+    // a VLB fill served from the local L1 must stay visible to later
+    // shootdowns even after the block leaves the L1 (and with it the
+    // directory's sharer list).
     RecordingObserver obs;
     engine.setTranslationObserver(&obs);
     engine.read(0, kA, true);
     EXPECT_EQ(obs.reads, 1u);
-    engine.read(0, kA, true); // L1 hit: no directory traffic
-    EXPECT_EQ(obs.reads, 1u);
+    engine.read(0, kA, true); // L1 hit: still registers
+    EXPECT_EQ(obs.reads, 2u);
 }
 
 TEST_F(CoherenceTest, TbitWriteLocalWhenDirtyInOwnL1)

@@ -3,13 +3,17 @@
  * Randomized stress tests of the full isolation stack against an
  * independent reference model.
  *
- * Thousands of random PrivLib operations (mmap/munmap/mprotect/pmove/
- * pcopy/cget/cput) run from random cores and domains, while a simple
- * map-based oracle tracks who should be able to access what. After
- * every mutation batch, random probe accesses through the real UAT
- * hardware (VLBs, VTW, sub-arrays, overflow lists, shootdowns) must
- * agree with the oracle exactly — any divergence is either a missed
- * fault (security hole) or a spurious fault (correctness bug).
+ * 10,000 random PrivLib operations per seed (mmap/munmap/mprotect/
+ * pmove/pcopy plus the PD lifecycle: cget/cput/ccall+cexit) run from
+ * random cores and domains, while a simple map-based oracle tracks who
+ * should be able to access what. After every mutation batch, random
+ * probe accesses through the real UAT hardware (VLBs, VTW, sub-arrays,
+ * overflow lists, shootdowns) must agree with the oracle exactly — any
+ * divergence is either a missed fault (security hole) or a spurious
+ * fault (correctness bug). The fixture keeps JordSan attached with
+ * every family enabled, so the whole sequence is additionally checked
+ * against the sanitizer's independent shadow model; TearDown fails the
+ * test on any recorded violation.
  */
 
 #include "tests/fixture.hh"
@@ -159,6 +163,46 @@ class IsolationFuzz : public JordStackTest,
         it->second.perms[dst] = bits;
     }
 
+    void
+    doCget()
+    {
+        if (pds.size() >= 24)
+            return;
+        pds.push_back(mustCget(0));
+    }
+
+    void
+    doCput()
+    {
+        if (pds.size() <= 2)
+            return;
+        std::size_t idx = static_cast<std::size_t>(
+            rng.uniformInt(static_cast<std::uint64_t>(pds.size())));
+        PdId pd = pds[idx];
+        // Only retire domains that hold no permissions; cput of a PD
+        // still named in a sub-array would leak its grants.
+        for (const auto &[base, ref] : vmas)
+            if (ref.perms.count(pd))
+                return;
+        ASSERT_TRUE(privlib->cput(0, pd).ok)
+            << "pd " << pd << " should retire cleanly";
+        pds.erase(pds.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+
+    void
+    doCcall()
+    {
+        // Enter a random domain and return, exercising the domain
+        // stack (and the sanitizer's enter/exit tracking) from an
+        // arbitrary core.
+        PdId pd = randomPd();
+        unsigned core = static_cast<unsigned>(
+            rng.uniformInt(std::uint64_t(cfg.numCores)));
+        ASSERT_TRUE(privlib->ccall(core, pd).ok)
+            << "ccall into live pd " << pd;
+        ASSERT_TRUE(privlib->cexit(core).ok);
+    }
+
     std::map<Addr, RefVma>::iterator
     pickVma()
     {
@@ -207,23 +251,30 @@ TEST_P(IsolationFuzz, RandomOpsMatchReferenceModel)
     for (int i = 0; i < 6; ++i)
         pds.push_back(mustCget(0));
 
-    for (int round = 0; round < 60; ++round) {
+    // 400 rounds x 25 ops = 10,000 operation attempts per seed.
+    for (int round = 0; round < 400; ++round) {
         for (int op = 0; op < 25; ++op) {
             double pick = rng.uniform();
-            if (pick < 0.30)
+            if (pick < 0.26)
                 doMmap();
-            else if (pick < 0.45)
+            else if (pick < 0.40)
                 doMunmap();
-            else if (pick < 0.60)
+            else if (pick < 0.53)
                 doMprotect();
-            else if (pick < 0.80)
+            else if (pick < 0.70)
                 doTransfer(/*move=*/true);
-            else
+            else if (pick < 0.82)
                 doTransfer(/*move=*/false);
+            else if (pick < 0.88)
+                doCget();
+            else if (pick < 0.93)
+                doCput();
+            else
+                doCcall();
             if (HasFatalFailure())
                 return;
         }
-        verify(40);
+        verify(20);
         if (HasFatalFailure())
             return;
     }
@@ -239,6 +290,6 @@ TEST_P(IsolationFuzz, RandomOpsMatchReferenceModel)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IsolationFuzz,
-                         ::testing::Values(1u, 2u, 3u, 17u, 42u));
+                         ::testing::Values(1u, 2u, 3u));
 
 } // namespace

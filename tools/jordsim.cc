@@ -18,8 +18,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <string>
 
+#include "check/check.hh"
 #include "fault/fault.hh"
 #include "sim/logging.hh"
 #include "trace/export.hh"
@@ -71,6 +73,7 @@ struct Options {
     unsigned maxRetries = 0;
     double retryBackoffUs = 20.0;
     std::size_t shedCap = 0;
+    check::CheckConfig check;
 };
 
 void
@@ -124,6 +127,15 @@ printUsage()
         "  --shed-cap N        shed external arrivals when an\n"
         "                      orchestrator's external queue holds N\n"
         "                      requests (0 = never shed)\n"
+        "\n"
+        "checking (JordSan, all off by default):\n"
+        "  --check[=FAMILIES]  run with the isolation sanitizer on.\n"
+        "                      FAMILIES is a comma-separated subset of\n"
+        "                      access,vlb,difftable (default: all).\n"
+        "                      Violations are reported on stderr and\n"
+        "                      make jordsim exit nonzero. With --check\n"
+        "                      off, output is byte-identical to a\n"
+        "                      build without the checker.\n"
         "\n"
         "output:\n"
         "  --csv               machine-readable output\n"
@@ -199,7 +211,14 @@ parseArgs(int argc, char **argv)
         else if (flag == "--shed-cap")
             opt.shedCap = static_cast<std::size_t>(
                 std::strtoull(value().c_str(), nullptr, 10));
-        else if (flag == "--csv")
+        else if (flag == "--check") {
+            // Bare --check enables every family; --check=a,b a subset.
+            std::string spec = has_inline ? inline_val : "";
+            if (!check::CheckConfig::parse(spec, opt.check))
+                sim::fatal("--check expects a comma-separated subset "
+                           "of access,vlb,difftable, got '%s'",
+                           spec.c_str());
+        } else if (flag == "--csv")
             opt.csv = true;
         else if (flag == "--sweep") {
             std::string spec = value();
@@ -233,6 +252,7 @@ makeWorkerConfig(const Options &opt)
     cfg.maxRetries = opt.maxRetries;
     cfg.retryBackoffUs = opt.retryBackoffUs;
     cfg.shedCap = opt.shedCap;
+    cfg.check = opt.check;
     return cfg;
 }
 
@@ -277,6 +297,13 @@ runOnce(const Options &opt)
                      registry.size(), opt.metricsOut.c_str());
     }
 
+    int rc = 0;
+    if (check::Checker *checker = worker.checker()) {
+        checker->report(std::cerr);
+        if (checker->totalViolations())
+            rc = 2;
+    }
+
     if (opt.csv) {
         std::printf("workload,system,offered_mrps,achieved_mrps,"
                     "mean_us,p50_us,p99_us,invocations,utilization,"
@@ -295,7 +322,7 @@ runOnce(const Options &opt)
                         res.timedOutRequests),
                     static_cast<unsigned long long>(res.shedRequests),
                     static_cast<unsigned long long>(res.retries));
-        return 0;
+        return rc;
     }
 
     std::printf("%s on %s @ %.2f MRPS offered\n", opt.workload.c_str(),
@@ -338,7 +365,7 @@ runOnce(const Options &opt)
                 sim::cyclesToNs(res.totals.pipe, ghz) /
                     static_cast<double>(std::max<std::uint64_t>(
                         1, res.invocations)));
-    return 0;
+    return rc;
 }
 
 int
