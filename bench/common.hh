@@ -9,6 +9,9 @@
 #define JORD_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -17,6 +20,8 @@
 #include "noc/mesh.hh"
 #include "os/kernel.hh"
 #include "privlib/privlib.hh"
+#include "prof/profile_json.hh"
+#include "sim/logging.hh"
 #include "stats/sampler.hh"
 #include "uat/btree_table.hh"
 #include "uat/uat_system.hh"
@@ -99,6 +104,52 @@ inline void
 banner(const std::string &title)
 {
     std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/**
+ * Standard bench CLI: `--quick` shrinks the run for CI perf gating,
+ * `--json PATH` overrides where the BENCH_<name>.json summary lands.
+ */
+struct BenchArgs {
+    bool quick = false;
+    std::string jsonPath;
+
+    static BenchArgs
+    parse(int argc, char **argv, const std::string &bench_name)
+    {
+        BenchArgs args;
+        args.jsonPath = "BENCH_" + bench_name + ".json";
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--quick") {
+                args.quick = true;
+            } else if (arg == "--json") {
+                if (i + 1 >= argc)
+                    sim::fatal("--json requires a value");
+                args.jsonPath = argv[++i];
+            } else if (arg.rfind("--json=", 0) == 0) {
+                args.jsonPath = arg.substr(std::strlen("--json="));
+            } else {
+                sim::fatal("unknown flag '%s' "
+                           "(--quick, --json PATH)",
+                           arg.c_str());
+            }
+        }
+        return args;
+    }
+};
+
+/** Write the machine-comparable bench summary for tools/jordprof. */
+inline void
+writeBenchJson(const std::string &path,
+               const std::map<std::string, double> &kv)
+{
+    std::ofstream out(path);
+    if (!out)
+        sim::fatal("cannot open '%s'", path.c_str());
+    prof::writeFlatJson(out, kv);
+    std::fprintf(stderr, "wrote %zu bench metrics to %s\n", kv.size(),
+                 path.c_str());
 }
 
 } // namespace jord::bench

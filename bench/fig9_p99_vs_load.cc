@@ -26,10 +26,12 @@ using workloads::SweepConfig;
 using workloads::SweepResult;
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args = bench::BenchArgs::parse(argc, argv, "fig9");
+
     SweepConfig cfg;
-    cfg.requestsPerPoint = 8000;
+    cfg.requestsPerPoint = args.quick ? 2000 : 8000;
     if (const char *env = std::getenv("JORD_FIG9_REQUESTS"))
         cfg.requestsPerPoint = std::strtoull(env, nullptr, 10);
 
@@ -48,11 +50,18 @@ main()
     stats::Table summary({"Workload", "SLO (us)", "JordNI (MRPS)",
                           "Jord (MRPS)", "NightCore (MRPS)",
                           "Jord/JordNI", "Jord/NightCore"});
+    std::map<std::string, double> json;
 
     for (workloads::Workload &w : workloads::makeAll()) {
+        // Quick mode (the CI perf gate) runs Hotel only, on a short
+        // load series: enough signal for a 10% regression gate.
+        if (args.quick && w.name != "Hotel")
+            continue;
         auto [lo, hi] = ranges.at(w.name);
-        std::vector<double> loads = workloads::loadSeries(lo, hi, 14);
+        std::vector<double> loads =
+            workloads::loadSeries(lo, hi, args.quick ? 5 : 14);
         double slo_us = workloads::measureSloUs(w, cfg);
+        json["fig9." + w.name + ".slo_us"] = slo_us;
 
         std::printf("--- %s (SLO = %.1f us) ---\n", w.name.c_str(),
                     slo_us);
@@ -71,6 +80,14 @@ main()
                                p.meetsSlo ? "yes" : "NO"});
             }
             under_slo[system] = res.throughputUnderSlo;
+            std::string prefix =
+                "fig9." + w.name + "." + systemName(system);
+            json[prefix + ".goodput_mrps"] = res.throughputUnderSlo;
+            if (!res.points.empty()) {
+                json[prefix + ".min_load_p99_us"] = res.points[0].p99Us;
+                json[prefix + ".min_load_mean_us"] =
+                    res.points[0].meanUs;
+            }
         }
         std::printf("%s\n", series.render().c_str());
 
@@ -92,5 +109,6 @@ main()
     std::printf("\nExpected shape: Jord/JordNI >= ~0.84 (Media ~0.7);\n"
                 "Jord/NightCore > 2 on average; NightCore misses the\n"
                 "SLO at all loads for Hipster and Media.\n");
+    bench::writeBenchJson(args.jsonPath, json);
     return 0;
 }

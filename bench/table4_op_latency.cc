@@ -31,10 +31,9 @@ struct Row {
 
 /** Measure all seven Table 4 operations on one stack. */
 std::vector<double>
-measureAll(Stack &stack)
+measureAll(Stack &stack, unsigned kIters)
 {
     constexpr unsigned kCore = 0;
-    constexpr unsigned kIters = 1000;
     privlib::PrivLib &pl = *stack.privlib;
     double ghz = stack.machine.freqGhz;
     std::vector<double> ns;
@@ -134,8 +133,11 @@ measureAll(Stack &stack)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args =
+        bench::BenchArgs::parse(argc, argv, "table4");
+
     bench::banner("Table 4: VMA and PD operation latencies");
 
     Stack simulator(sim::MachineConfig::isca25Default());
@@ -143,13 +145,18 @@ main()
     fpga_cfg.profile = sim::MachineProfile::Fpga;
     Stack fpga(fpga_cfg);
 
-    std::vector<double> sim_ns = measureAll(simulator);
-    std::vector<double> fpga_ns = measureAll(fpga);
+    unsigned iters = args.quick ? 200 : 1000;
+    std::vector<double> sim_ns = measureAll(simulator, iters);
+    std::vector<double> fpga_ns = measureAll(fpga, iters);
 
     const char *names[] = {"VMA lookup",   "VMA update",
                            "VMA insertion", "VMA deletion",
                            "PD creation",  "PD deletion",
                            "PD switching"};
+    const char *keys[] = {"vma_lookup",    "vma_update",
+                          "vma_insertion", "vma_deletion",
+                          "pd_creation",   "pd_deletion",
+                          "pd_switching"};
     const double paper_sim[] = {2, 16, 16, 27, 11, 14, 12};
     const double paper_fpga[] = {2, 33, 37, 39, 25, 30, 22};
 
@@ -164,5 +171,13 @@ main()
     std::printf("%s\n", table.render().c_str());
     std::printf("All operations should complete within tens of ns; the\n"
                 "FPGA column differs only via software-IPC scaling.\n");
+
+    std::map<std::string, double> json;
+    for (unsigned i = 0; i < 7; ++i) {
+        json[std::string("table4.") + keys[i] + ".sim_ns"] = sim_ns[i];
+        json[std::string("table4.") + keys[i] + ".fpga_ns"] =
+            fpga_ns[i];
+    }
+    bench::writeBenchJson(args.jsonPath, json);
     return 0;
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "prof/pmu.hh"
 #include "sim/logging.hh"
 
 namespace jord::mem {
@@ -96,6 +97,29 @@ CoherenceEngine::invalidateSharers(unsigned home, Line &line,
     return worst;
 }
 
+void
+CoherenceEngine::notePmu(unsigned core, const Access &acc, unsigned home)
+{
+    if (!pmu_)
+        return;
+    pmu_->add(core, prof::PmuCounter::RetiredOps);
+    if (acc.l1Hit) {
+        pmu_->add(core, prof::PmuCounter::L1Hits);
+        return;
+    }
+    if (acc.llcHit)
+        pmu_->add(core, prof::PmuCounter::LlcHits);
+    else
+        pmu_->add(core, prof::PmuCounter::DramFills);
+    pmu_->add(core, prof::PmuCounter::NocMsgs, acc.messages);
+    pmu_->add(core, prof::PmuCounter::NocHops,
+              static_cast<std::uint64_t>(mesh_.hops(core, home)) *
+                  acc.messages);
+    // The cycles beyond the L1 probe stalled on cross-core traffic.
+    pmu_->charge(core, prof::PmuBucket::Noc,
+                 acc.latency - cfg_.l1HitCycles);
+}
+
 Access
 CoherenceEngine::read(unsigned core, Addr addr, bool tbit)
 {
@@ -117,6 +141,7 @@ CoherenceEngine::read(unsigned core, Addr addr, bool tbit)
         touchL1(core, addr);
         if (tbit && observer_)
             observer_->translationRead(core, addr);
+        notePmu(core, acc, core);
         return acc;
     }
 
@@ -170,6 +195,7 @@ CoherenceEngine::read(unsigned core, Addr addr, bool tbit)
 
     acc.latency = lat;
     stats_.messages += acc.messages;
+    notePmu(core, acc, home);
     return acc;
 }
 
@@ -197,6 +223,7 @@ CoherenceEngine::write(unsigned core, Addr addr, bool tbit)
         touchL1(core, addr);
         if (tbit && observer_)
             observer_->translationWriteLocal(core, addr);
+        notePmu(core, acc, core);
         return acc;
     }
 
@@ -260,6 +287,7 @@ CoherenceEngine::write(unsigned core, Addr addr, bool tbit)
 
     acc.latency = lat;
     stats_.messages += acc.messages;
+    notePmu(core, acc, home);
     return acc;
 }
 

@@ -29,6 +29,10 @@
 #include "sim/machine.hh"
 #include "sim/types.hh"
 
+namespace jord::prof {
+class Pmu;
+}
+
 namespace jord::mem {
 
 /** Directory-visible state of a tracked block. */
@@ -136,6 +140,10 @@ class CoherenceEngine
         observer_ = observer;
     }
 
+    /** Attach the simulated PMU (null to detach). Zero-latency: counter
+     * and cycle-attribution hooks never change access timing. */
+    void setPmu(prof::Pmu *pmu) { pmu_ = pmu; }
+
     /** Directory state of a block (Invalid if never touched). */
     CacheState stateOf(sim::Addr addr) const;
 
@@ -188,11 +196,15 @@ class CoherenceEngine
     const sim::MachineConfig cfg_;
     const noc::Mesh &mesh_;
     TranslationObserver *observer_ = nullptr;
+    prof::Pmu *pmu_ = nullptr;
     std::unordered_map<sim::Addr, Line> lines_;
     std::vector<CoreL1> l1s_;
     CoherenceStats stats_;
 
     Line &lineFor(sim::Addr addr);
+
+    /** PMU bookkeeping for one finished access (no timing effect). */
+    void notePmu(unsigned core, const Access &acc, unsigned home);
 
     /** Record residency of @p addr in @p core's L1; evicts LRU victims
      * beyond the configured capacity. */

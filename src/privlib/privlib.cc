@@ -5,6 +5,7 @@
 #include <string>
 
 #include "check/hooks.hh"
+#include "prof/pmu.hh"
 #include "sim/logging.hh"
 #include "trace/metrics.hh"
 
@@ -107,9 +108,14 @@ PrivLib::fence(unsigned core, Addr vte_addr) const
     // operation may return (e.g., before recycling freed memory).
     unsigned home = coherence_.mesh().homeSlice(
         sim::blockAlign(vte_addr), core);
-    return coherence_.mesh().roundTrip(core, home,
-                                       noc::MsgKind::Control) +
-           cfg_.llcHitCycles;
+    Cycles lat = coherence_.mesh().roundTrip(core, home,
+                                             noc::MsgKind::Control) +
+                 cfg_.llcHitCycles;
+    // Pure mesh math (no coherence access), so the cycles are not
+    // already in any stall bucket: the wait is shootdown time.
+    if (pmu_)
+        pmu_->charge(core, prof::PmuBucket::Shootdown, lat);
+    return lat;
 }
 
 Addr

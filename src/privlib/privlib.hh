@@ -39,6 +39,10 @@ class Counter;
 class MetricsRegistry;
 } // namespace jord::trace
 
+namespace jord::prof {
+class Pmu;
+} // namespace jord::prof
+
 namespace jord::privlib {
 
 /** Result of a PrivLib call. */
@@ -195,6 +199,10 @@ class PrivLib
      */
     void attachMetrics(trace::MetricsRegistry &registry);
 
+    /** Attach the simulated PMU (null to detach); shootdown-fence
+     * waits are attributed at zero simulated latency. */
+    void setPmu(prof::Pmu *pmu) { pmu_ = pmu; }
+
     /** Cycles spent in VMA-management ops (Fig. 13 comparison). */
     std::uint64_t vmaManagementCycles() const;
 
@@ -241,6 +249,7 @@ class PrivLib
     uat::VmaTableBase &table_;
     os::Kernel &kernel_;
     check::CheckHooks *checker_ = nullptr;
+    prof::Pmu *pmu_ = nullptr;
     PrivCosts costs_;
     bool bypass_ = false;
 

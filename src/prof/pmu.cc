@@ -1,0 +1,164 @@
+#include "prof/pmu.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "sim/logging.hh"
+
+namespace jord::prof {
+
+namespace {
+
+constexpr const char *kCounterNames[Pmu::kNumCounters] = {
+    "retired_ops",     "vlb_i_hits",       "vlb_i_misses",
+    "vlb_d_hits",      "vlb_d_misses",     "vtw_walks",
+    "vtw_walk_depth",  "vtd_lookups",      "vtd_shootdowns",
+    "vtd_back_invals", "noc_msgs",         "noc_hops",
+    "l1_hits",         "llc_hits",         "dram_fills",
+    "queue_wait_cycles", "dispatch_scans",
+};
+
+constexpr const char *kBucketNames[Pmu::kNumBuckets] = {
+    "retire",    "vlb_miss_stall", "vtw_walk",      "shootdown",
+    "noc",       "dispatch_wait",  "idle",
+};
+
+} // namespace
+
+const char *
+pmuCounterName(PmuCounter counter)
+{
+    return kCounterNames[static_cast<unsigned>(counter)];
+}
+
+const char *
+pmuBucketName(PmuBucket bucket)
+{
+    return kBucketNames[static_cast<unsigned>(bucket)];
+}
+
+Pmu::Pmu(unsigned num_cores)
+    : counters_(num_cores), buckets_(num_cores), attributed_(num_cores, 0),
+      windowOpen_(num_cores, false)
+{
+    for (auto &row : counters_)
+        row.fill(0);
+    for (auto &row : buckets_)
+        row.fill(0);
+}
+
+std::uint64_t
+Pmu::totalCounter(PmuCounter counter) const
+{
+    std::uint64_t total = uncore_[static_cast<unsigned>(counter)];
+    for (const auto &row : counters_)
+        total += row[static_cast<unsigned>(counter)];
+    return total;
+}
+
+void
+Pmu::endWindow(unsigned core, sim::Cycles busy, std::uint64_t watermark)
+{
+    windowOpen_[core] = false;
+    std::uint64_t delta = attributed_[core] - watermark;
+    if (busy > delta) {
+        buckets_[core][static_cast<unsigned>(PmuBucket::Retire)] +=
+            busy - delta;
+    }
+    // delta > busy would mean hooks attributed more stall cycles than
+    // the stretch charged; the window protocol keeps per-access charges
+    // <= the access latency, so the stretch total bounds delta.
+}
+
+void
+Pmu::reclassify(unsigned core, PmuBucket from, PmuBucket to,
+                sim::Cycles cycles)
+{
+    auto &row = buckets_[core];
+    std::uint64_t moved =
+        std::min<std::uint64_t>(cycles, row[static_cast<unsigned>(from)]);
+    row[static_cast<unsigned>(from)] -= moved;
+    row[static_cast<unsigned>(to)] += moved;
+}
+
+void
+Pmu::finalize(sim::Tick total_ticks)
+{
+    totalTicks_ = total_ticks;
+    clampedCores_ = 0;
+    for (auto &row : buckets_) {
+        std::uint64_t accounted = 0;
+        for (unsigned b = 0; b < kNumBuckets; ++b) {
+            if (b != static_cast<unsigned>(PmuBucket::Idle))
+                accounted += row[b];
+        }
+        if (accounted <= total_ticks) {
+            row[static_cast<unsigned>(PmuBucket::Idle)] =
+                total_ticks - accounted;
+        } else {
+            row[static_cast<unsigned>(PmuBucket::Idle)] = 0;
+            ++clampedCores_;
+        }
+    }
+}
+
+void
+Pmu::writeCountersCsv(std::ostream &out) const
+{
+    out << "core,counter,value\n";
+    for (unsigned core = 0; core < numCores(); ++core) {
+        for (unsigned c = 0; c < kNumCounters; ++c) {
+            out << core << ',' << kCounterNames[c] << ','
+                << counters_[core][c] << '\n';
+        }
+    }
+    for (unsigned c = 0; c < kNumCounters; ++c)
+        out << "uncore," << kCounterNames[c] << ',' << uncore_[c] << '\n';
+    for (unsigned c = 0; c < kNumCounters; ++c) {
+        out << "total," << kCounterNames[c] << ','
+            << totalCounter(static_cast<PmuCounter>(c)) << '\n';
+    }
+}
+
+void
+Pmu::writeTopDownCsv(std::ostream &out) const
+{
+    out << "core";
+    for (unsigned b = 0; b < kNumBuckets; ++b)
+        out << ',' << kBucketNames[b];
+    out << ",total\n";
+    std::array<std::uint64_t, kNumBuckets> sums{};
+    for (unsigned core = 0; core < numCores(); ++core) {
+        out << core;
+        std::uint64_t total = 0;
+        for (unsigned b = 0; b < kNumBuckets; ++b) {
+            out << ',' << buckets_[core][b];
+            total += buckets_[core][b];
+            sums[b] += buckets_[core][b];
+        }
+        out << ',' << total << '\n';
+    }
+    out << "all";
+    std::uint64_t grand = 0;
+    for (unsigned b = 0; b < kNumBuckets; ++b) {
+        out << ',' << sums[b];
+        grand += sums[b];
+    }
+    out << ',' << grand << '\n';
+}
+
+void
+Pmu::reset()
+{
+    for (auto &row : counters_)
+        row.fill(0);
+    uncore_.fill(0);
+    for (auto &row : buckets_)
+        row.fill(0);
+    std::fill(attributed_.begin(), attributed_.end(), 0);
+    std::fill(windowOpen_.begin(), windowOpen_.end(), false);
+    totalTicks_ = 0;
+    clampedCores_ = 0;
+}
+
+} // namespace jord::prof

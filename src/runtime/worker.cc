@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "prof/pmu.hh"
+#include "prof/profiler.hh"
 #include "sim/logging.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
@@ -212,6 +214,69 @@ WorkerServer::attachMetrics(trace::MetricsRegistry &registry)
 }
 
 void
+WorkerServer::setPmu(prof::Pmu *pmu)
+{
+    pmu_ = pmu;
+    coherence_->setPmu(pmu);
+    uat_->setPmu(pmu);
+    privlib_->setPmu(pmu);
+}
+
+void
+WorkerServer::profSample(std::vector<prof::CoreSample> &cores,
+                         prof::GlobalSample &global)
+{
+    global.livePds = privlib_->numLivePds();
+    global.liveArgBufs = static_cast<std::size_t>(liveArgBufs_);
+    global.liveInvocations = live_.size();
+
+    for (const OrchState &o : orchs_) {
+        prof::CoreSample cs;
+        cs.core = o.core;
+        cs.orchestrator = true;
+        cs.busy = o.dispatching;
+        cs.queueDepth = o.external.size() + o.internal.size() +
+                        o.completions.size();
+        cores.push_back(std::move(cs));
+    }
+    for (const ExecState &e : execs_) {
+        prof::CoreSample cs;
+        cs.core = e.core;
+        cs.busy = e.busy;
+        cs.queueDepth = e.queue.size() + e.resumable.size();
+        cs.outstanding = e.outstanding;
+        cs.domainDepth = privlib_->domainDepth(e.core);
+        cs.vlbIOccupancy = uat_->ivlb(e.core).occupancy();
+        cs.vlbICapacity = uat_->ivlb(e.core).capacity();
+        cs.vlbDOccupancy = uat_->dvlb(e.core).occupancy();
+        cs.vlbDCapacity = uat_->dvlb(e.core).capacity();
+        if (e.busy && e.running) {
+            auto it = live_.find(e.running);
+            if (it != live_.end()) {
+                const Invocation *inv = it->second.get();
+                cs.pd = inv->pd;
+                cs.fn = registry_.at(inv->req.fn).spec.name;
+                // Fold the nested-ccall chain root-first by walking
+                // parent links up to the external entry function.
+                const Invocation *cur = inv;
+                while (true) {
+                    cs.stack.push_back(
+                        registry_.at(cur->req.fn).spec.name);
+                    if (!cur->req.internal)
+                        break;
+                    auto pit = live_.find(cur->req.parent);
+                    if (pit == live_.end())
+                        break;
+                    cur = pit->second.get();
+                }
+                std::reverse(cs.stack.begin(), cs.stack.end());
+            }
+        }
+        cores.push_back(std::move(cs));
+    }
+}
+
+void
 WorkerServer::traceSpan(const char *name, trace::Category category,
                         unsigned core, Tick start, Cycles dur,
                         const Invocation &inv)
@@ -408,6 +473,13 @@ WorkerServer::orchDispatchStep(unsigned orch)
         return;
 
     Cycles busy = 0;
+    // Attribution window for this serialized orchestrator stretch: any
+    // stall-bucket cycles the memory/UAT hooks charge for o.core while
+    // it is open stay in their buckets; the remainder of `busy` closes
+    // into Retire. The JBSQ-hold early return discards its busy in the
+    // timing model but still closes the window with the scan work — a
+    // deliberate, negligible over-attribution (the scan happened).
+    prof::PmuWindow pmu_window(pmu_, o.core, busy);
     bool progressed = false;
 
     if (!o.completions.empty()) {
@@ -500,6 +572,11 @@ WorkerServer::orchDispatchStep(unsigned orch)
             unsigned chosen = 0;
             Cycles scan = dispatchScan(o, orch, chosen);
             busy += scan;
+            if (pmu_) {
+                pmu_->add(o.core, prof::PmuCounter::DispatchScans);
+                pmu_->charge(o.core, prof::PmuBucket::DispatchWait,
+                             scan);
+            }
 
             if (!internal &&
                 execs_[chosen].outstanding >= cfg_.jbsqBound) {
@@ -1292,7 +1369,10 @@ WorkerServer::startInvocation(unsigned exec, Request req)
     inv.exec = exec;
     inv.serviceStart = events_.curTick();
     live_[inv.req.id] = std::move(owned);
+    execs_[exec].running = inv.req.id;
     noteLiveInvocations();
+    Cycles busy = 0;
+    prof::PmuWindow pmu_window(pmu_, coreOfExec(exec), busy);
     if (tracer_) {
         // Parent the invoke span under the request span (external) or
         // the parent's invoke span (nested ccall), building the
@@ -1314,7 +1394,8 @@ WorkerServer::startInvocation(unsigned exec, Request req)
         // in the executor queue. Don't waste a PD on it.
         inv.outcome = Outcome::TimedOut;
         inv.state = InvState::Done;
-        scheduleExecCompletion(exec, inv.req.id, kQueueOpCycles);
+        busy = kQueueOpCycles;
+        scheduleExecCompletion(exec, inv.req.id, busy);
         return;
     }
 
@@ -1371,7 +1452,7 @@ WorkerServer::startInvocation(unsigned exec, Request req)
     if (checker_)
         checker_->setCoreContext(coreOfExec(exec), inv.req.id,
                                  inv.span);
-    Cycles busy = invocationPrologue(inv, base);
+    busy = invocationPrologue(inv, base);
     inv.prologueDone = true;
     busy += runUntilBlocked(inv, base + busy);
     if (checker_)
@@ -1385,14 +1466,17 @@ WorkerServer::resumeInvocation(unsigned exec, Invocation &inv)
     ExecState &e = execs_[exec];
     ++e.outstanding;
     markDirty(e);
+    e.running = inv.req.id;
     inv.state = InvState::Running;
+    Cycles busy = 0;
+    prof::PmuWindow pmu_window(pmu_, coreOfExec(exec), busy);
 
     Tick base = events_.curTick();
     if (checker_)
         checker_->setCoreContext(coreOfExec(exec), inv.req.id,
                                  inv.span);
     bool child_failed = false;
-    Cycles busy = consumeChildResults(inv, base, child_failed);
+    busy = consumeChildResults(inv, base, child_failed);
 
     bool abort = inv.abortPending || inv.timedOut || child_failed ||
                  (inv.req.deadline && base >= inv.req.deadline);
@@ -1439,6 +1523,7 @@ WorkerServer::scheduleExecCompletion(unsigned exec, RequestId id,
                           [this, exec, id] {
                               ExecState &e = execs_[exec];
                               e.busy = false;
+                              e.running = 0;
                               noteExecBusy(false);
                               auto it = live_.find(id);
                               if (it != live_.end() &&
@@ -1473,6 +1558,9 @@ WorkerServer::accountInvocation(Invocation &inv)
     Cycles accounted = bd.exec + bd.isolation + bd.dispatch + bd.comm +
                        bd.pipe;
     bd.queue = service > accounted ? service - accounted : 0;
+    if (pmu_)
+        pmu_->add(coreOfExec(inv.exec),
+                  prof::PmuCounter::QueueWaitCycles, bd.queue);
     result_->perFunctionBreakdown[fn] += bd;
     ++result_->perFunctionCount[fn];
     result_->totals += bd;
@@ -1897,6 +1985,7 @@ WorkerServer::run(double mrps, std::uint64_t num_requests,
         e.resumable.clear();
         e.busy = false;
         e.outstanding = 0;
+        e.running = 0;
         markDirty(e);
     }
 
@@ -1908,11 +1997,19 @@ WorkerServer::run(double mrps, std::uint64_t num_requests,
         static_cast<double>(num_requests) * warmup_frac);
     result_ = &result;
     uat_->shootdownLatency().reset();
+    if (pmu_)
+        pmu_->reset();
 
     Tick start = events_.curTick();
     scheduleNextArrival();
+    if (profiler_)
+        profiler_->arm();
     events_.run();
-    Tick end = events_.curTick();
+    // Measure to the last *work* event: a trailing profiler sample
+    // (a daemon event) must not stretch the run window.
+    Tick end = events_.lastWorkTick();
+    if (pmu_)
+        pmu_->finalize(end - start);
 
     // Leak invariant: every abort path must have returned its PD and
     // ArgBufs; a drained run leaves no runtime state behind.

@@ -25,6 +25,8 @@
 #include "noc/mesh.hh"
 #include "os/kernel.hh"
 #include "privlib/privlib.hh"
+#include "prof/pmu.hh"
+#include "prof/profiler.hh"
 #include "runtime/registry.hh"
 #include "runtime/request.hh"
 #include "sim/event_queue.hh"
@@ -143,11 +145,11 @@ struct RunResult {
 /**
  * The worker server.
  */
-class WorkerServer
+class WorkerServer : public prof::SampleSource
 {
   public:
     WorkerServer(WorkerConfig cfg, FunctionRegistry registry);
-    ~WorkerServer();
+    ~WorkerServer() override;
 
     WorkerServer(const WorkerServer &) = delete;
     WorkerServer &operator=(const WorkerServer &) = delete;
@@ -217,6 +219,23 @@ class WorkerServer
      */
     void attachMetrics(trace::MetricsRegistry &registry);
 
+    /**
+     * Attach (or detach, with nullptr) the simulated PMU; propagated
+     * to the coherence engine, UAT and PrivLib. All hook sites are
+     * null-checked and charge zero simulated latency, so a detached
+     * run is byte-identical.
+     */
+    void setPmu(prof::Pmu *pmu);
+    prof::Pmu *pmu() const { return pmu_; }
+
+    /** Attach a sampling profiler; run() arms it after resetting the
+     * event queue so sampling covers the whole run. */
+    void setProfiler(prof::Profiler *profiler) { profiler_ = profiler; }
+
+    /** prof::SampleSource: snapshot per-core + global state. */
+    void profSample(std::vector<prof::CoreSample> &cores,
+                    prof::GlobalSample &global) override;
+
   private:
     struct ExecState {
         unsigned core = 0;
@@ -230,6 +249,9 @@ class WorkerServer
         /** Outstanding = queued + running (JBSQ counter). */
         unsigned outstanding = 0;
         sim::Addr queueLine = 0;
+        /** Request the executor is currently working on (0 = none);
+         * host-only bookkeeping for profiler stack samples. */
+        RequestId running = 0;
     };
 
     struct OrchState {
@@ -292,6 +314,8 @@ class WorkerServer
 
     // Optional observability hooks (all null when not attached).
     trace::Tracer *tracer_ = nullptr;
+    prof::Pmu *pmu_ = nullptr;
+    prof::Profiler *profiler_ = nullptr;
     struct RuntimeMetrics {
         trace::Counter *externalRequests = nullptr;
         trace::Counter *completedRequests = nullptr;

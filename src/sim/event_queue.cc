@@ -14,7 +14,19 @@ EventQueue::schedule(Tick when, EventFn fn)
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(curTick_));
     std::uint64_t handle = nextHandle_++;
-    heap_.push(Entry{when, nextSeq_++, handle, std::move(fn)});
+    heap_.push(Entry{when, nextSeq_++, handle, std::move(fn), false});
+    return handle;
+}
+
+std::uint64_t
+EventQueue::scheduleDaemon(Tick when, EventFn fn)
+{
+    if (when < curTick_)
+        panic("scheduling event in the past (when=%llu now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick_));
+    std::uint64_t handle = nextHandle_++;
+    heap_.push(Entry{when, nextSeq_++, handle, std::move(fn), true});
     return handle;
 }
 
@@ -56,6 +68,8 @@ EventQueue::step()
             continue;
         }
         curTick_ = entry.when;
+        if (!entry.daemon)
+            lastWorkTick_ = entry.when;
         ++numDispatched_;
         entry.fn();
         return true;
@@ -91,6 +105,7 @@ EventQueue::reset()
 {
     heap_ = Heap();
     curTick_ = 0;
+    lastWorkTick_ = 0;
     nextSeq_ = 0;
     numDispatched_ = 0;
     cancelled_.clear();

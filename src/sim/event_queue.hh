@@ -65,6 +65,23 @@ class EventQueue
     }
 
     /**
+     * Schedule a *daemon* callback: observer events (the sampling
+     * profiler) that must not count as simulated work. Daemon events
+     * fire like regular events but do not advance lastWorkTick(), so
+     * a trailing daemon event cannot stretch a run's measured window.
+     */
+    std::uint64_t scheduleDaemon(Tick when, EventFn fn);
+
+    std::uint64_t
+    scheduleDaemonAfter(Cycles delay, EventFn fn)
+    {
+        return scheduleDaemon(curTick_ + delay, std::move(fn));
+    }
+
+    /** Tick of the most recently dispatched non-daemon event. */
+    Tick lastWorkTick() const { return lastWorkTick_; }
+
+    /**
      * Cancel a previously scheduled event.
      *
      * @retval true if the event was pending and is now cancelled.
@@ -98,6 +115,7 @@ class EventQueue
         std::uint64_t seq;
         std::uint64_t handle;
         EventFn fn;
+        bool daemon = false;
 
         bool
         operator>(const Entry &other) const
@@ -113,6 +131,7 @@ class EventQueue
 
     Heap heap_;
     Tick curTick_ = 0;
+    Tick lastWorkTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t nextHandle_ = 1;
     std::uint64_t numDispatched_ = 0;

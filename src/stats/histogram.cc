@@ -81,18 +81,28 @@ Histogram::mean() const
 std::uint64_t
 Histogram::percentile(double p) const
 {
-    if (count_ == 0)
-        return 0;
     if (p < 0.0 || p > 100.0)
         sim::panic("percentile out of range: %f", p);
+    if (count_ == 0)
+        return 0;
+    // p=0 and p=100 are the observed extremes by definition; the
+    // bucket scan below would return the lower bound of the extreme's
+    // bucket, which can undercut the recorded value.
+    if (p == 0.0)
+        return min_;
+    if (p == 100.0)
+        return max_;
     std::uint64_t target = static_cast<std::uint64_t>(
         std::ceil(p / 100.0 * static_cast<double>(count_)));
     target = std::max<std::uint64_t>(target, 1);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
+        // Clamp to the observed range: a bucket's lower bound can lie
+        // below min_ (single sample 100 lands in the [96,104) bucket,
+        // whose bound 96 was never recorded).
         if (seen >= target)
-            return std::min(bucketLowerBound(i), max_);
+            return std::clamp(bucketLowerBound(i), min_, max_);
     }
     return max_;
 }

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Trace-file integrity check shared by the offline trace tools.
+ *
+ * jordsim's Chrome trace writer terminates every complete file with
+ * the metadata object's closing "}}" (followed only by whitespace);
+ * a truncated file — a run killed mid-write, a partial copy — ends
+ * inside a span line instead.  Both trace_report and jordlint refuse
+ * such files up front rather than silently reporting on the prefix
+ * that happened to survive.
+ */
+
+#ifndef JORD_TRACE_INTEGRITY_HH
+#define JORD_TRACE_INTEGRITY_HH
+
+#include <fstream>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace jord::trace {
+
+/**
+ * Fatal unless @p path is a complete Chrome trace JSON file: readable,
+ * non-empty, and terminated by the writer's closing "}}".
+ */
+inline void
+requireCompleteTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        sim::fatal("cannot open '%s'", path.c_str());
+    in.seekg(0, std::ios::end);
+    std::streamoff size = in.tellg();
+    if (size <= 0)
+        sim::fatal("'%s' is empty — not a trace file (did the "
+                   "producing run finish?)",
+                   path.c_str());
+
+    // Only the tail matters; a complete file ends "...}}\n".
+    constexpr std::streamoff kTail = 256;
+    std::streamoff start = size > kTail ? size - kTail : 0;
+    in.seekg(start);
+    std::string tail(static_cast<std::size_t>(size - start), '\0');
+    in.read(tail.data(), static_cast<std::streamsize>(tail.size()));
+
+    std::size_t end = tail.find_last_not_of(" \t\r\n");
+    if (end == std::string::npos || end < 1 ||
+        tail.compare(end - 1, 2, "}}") != 0)
+        sim::fatal("'%s' is truncated: a complete jordsim trace ends "
+                   "with its closing \"}}\" (re-run the producing "
+                   "jordsim, or check the copy)",
+                   path.c_str());
+}
+
+} // namespace jord::trace
+
+#endif // JORD_TRACE_INTEGRITY_HH

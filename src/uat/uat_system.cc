@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "check/hooks.hh"
+#include "prof/pmu.hh"
 #include "sim/logging.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
@@ -56,6 +57,7 @@ UatSystem::vtwWalk(unsigned core, Addr va, PdId pd, Vlb &target)
     out.latency = kVtwOverheadCycles;
 
     TableWalk walk = table_.walk(va);
+    out.depth = static_cast<unsigned>(walk.readAddrs.size());
     for (Addr block : walk.readAddrs)
         out.latency += coherence_.read(core, block, true).latency;
 
@@ -100,6 +102,9 @@ UatSystem::resolve(unsigned core, Addr va, Perm need, Vlb &vlb)
     }
 
     PdId pd = csr.ucid;
+    bool is_ivlb = &vlb == ivlbs_[core].get();
+    if (pmu_)
+        pmu_->add(core, prof::PmuCounter::RetiredOps);
     VlbEntry entry;
     if (auto hit = vlb.lookup(va, pd)) {
         entry = *hit;
@@ -107,14 +112,37 @@ UatSystem::resolve(unsigned core, Addr va, Perm need, Vlb &vlb)
         // VLB probe overlaps the L1 access: no extra latency.
         if (vlbHits_)
             vlbHits_->add();
+        if (pmu_)
+            pmu_->add(core, is_ivlb ? prof::PmuCounter::VlbIHits
+                                    : prof::PmuCounter::VlbDHits);
         if (checker_)
-            checker_->onVlbUse(core, &vlb == ivlbs_[core].get(),
-                               entry.vteAddr, pd);
+            checker_->onVlbUse(core, is_ivlb, entry.vteAddr, pd);
     } else {
         if (vlbMisses_)
             vlbMisses_->add();
+        if (pmu_)
+            pmu_->add(core, is_ivlb ? prof::PmuCounter::VlbIMisses
+                                    : prof::PmuCounter::VlbDMisses);
+        // The walk's table-block reads charge their NoC stall cycles to
+        // the Noc bucket as they happen; snapshot it so those cycles
+        // can be reclassified as VTW-walk time, with the remainder of
+        // the walk latency (overhead + L1-hit reads) charged as
+        // VLB-miss stall. The miss's attributed total is exactly
+        // walk.latency.
+        std::uint64_t noc_before =
+            pmu_ ? pmu_->bucket(core, prof::PmuBucket::Noc) : 0;
         WalkOutcome walk = vtwWalk(core, va, pd, vlb);
         acc.latency += walk.latency;
+        if (pmu_) {
+            pmu_->add(core, prof::PmuCounter::VtwWalks);
+            pmu_->add(core, prof::PmuCounter::VtwWalkDepth, walk.depth);
+            std::uint64_t moved =
+                pmu_->bucket(core, prof::PmuBucket::Noc) - noc_before;
+            pmu_->reclassify(core, prof::PmuBucket::Noc,
+                             prof::PmuBucket::VtwWalk, moved);
+            pmu_->charge(core, prof::PmuBucket::VlbMissStall,
+                         walk.latency - moved);
+        }
         if (tracer_)
             tracer_->complete("vtw_walk", trace::Category::Hw, core,
                               tracer_->now(), walk.latency);
@@ -252,6 +280,8 @@ UatSystem::vteWrite(unsigned core, Addr vte_addr)
 void
 UatSystem::translationRead(unsigned core, Addr addr)
 {
+    if (pmu_)
+        pmu_->add(core, prof::PmuCounter::VtdLookups);
     if (auto evicted = vtd_.addSharer(addr, core))
         backInvalidate(*evicted);
 }
@@ -261,6 +291,8 @@ UatSystem::translationWrite(unsigned core, Addr addr,
                             const mem::CoreMask &dir)
 {
     vtd_.mutableStats().writes++;
+    if (pmu_)
+        pmu_->add(core, prof::PmuCounter::VtdLookups);
     // Fan out to the union of both sharer trackers: the VTD covers
     // cores whose VTE block left their L1 after the fill, the
     // coherence directory covers cores whose fill hit in their own L1
@@ -315,6 +347,8 @@ UatSystem::translationWrite(unsigned core, Addr addr,
             sim::cyclesToNs(full_worst, cfg_.freqGhz));
         if (shootdowns_)
             shootdowns_->add();
+        if (pmu_)
+            pmu_->add(core, prof::PmuCounter::VtdShootdowns);
         if (shootdownNs_)
             shootdownNs_->record(static_cast<std::uint64_t>(
                 sim::cyclesToNs(full_worst, cfg_.freqGhz)));
@@ -335,6 +369,9 @@ UatSystem::translationWriteLocal(unsigned core, Addr addr)
     // fan out to any remote sharers; only a genuinely private
     // translation takes the cheap local-only path.
     vtd_.mutableStats().writes++;
+    if (pmu_)
+        pmu_->add(core, prof::PmuCounter::VtdLookups);
+    bool remote_fanout = false;
     std::vector<unsigned> notified;
     if (auto tracked = vtd_.sharers(addr)) {
         tracked->forEach([&](unsigned sharer) {
@@ -342,11 +379,15 @@ UatSystem::translationWriteLocal(unsigned core, Addr addr)
                 return;
             ivlbs_[sharer]->invalidateVte(addr);
             dvlbs_[sharer]->invalidateVte(addr);
+            if (sharer != core)
+                remote_fanout = true;
             if (checker_)
                 notified.push_back(sharer);
         });
         vtd_.remove(addr);
     }
+    if (pmu_ && remote_fanout)
+        pmu_->add(core, prof::PmuCounter::VtdShootdowns);
     if (static_cast<int>(core) != debugSkipShootdownCore_) {
         ivlbs_[core]->invalidateVte(addr);
         dvlbs_[core]->invalidateVte(addr);
@@ -372,6 +413,9 @@ UatSystem::backInvalidate(const Vtd::Evicted &evicted)
     // list; flush those cores' VLB copies eagerly so no holder survives
     // untracked (inclusive-directory back-invalidation). The fan-out
     // runs in hardware off the critical path; no latency is charged.
+    // There is no initiating core: count on the PMU's uncore row.
+    if (pmu_)
+        pmu_->addUncore(prof::PmuCounter::VtdBackInvals);
     std::vector<unsigned> flushed;
     evicted.sharers.forEach([&](unsigned sharer) {
         ivlbs_[sharer]->invalidateVte(evicted.tag);

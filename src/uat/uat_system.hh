@@ -28,6 +28,10 @@ namespace jord::check {
 class CheckHooks;
 } // namespace jord::check
 
+namespace jord::prof {
+class Pmu;
+} // namespace jord::prof
+
 namespace jord::trace {
 class Counter;
 class Distribution;
@@ -150,6 +154,10 @@ class UatSystem : public mem::TranslationObserver
      * attached. Hooks never charge latency. */
     void setChecker(check::CheckHooks *checker) { checker_ = checker; }
 
+    /** Attach the simulated PMU (null to detach); VLB hits/misses,
+     * walks, and VTD events are counted at zero simulated latency. */
+    void setPmu(prof::Pmu *pmu) { pmu_ = pmu; }
+
     /**
      * Negative-test knob: skip the shootdown invalidation of one core
      * (-1 = off). Simulates a broken VTD fan-out so tests can prove
@@ -195,11 +203,13 @@ class UatSystem : public mem::TranslationObserver
     trace::Counter *shootdownsPessimistic_ = nullptr;
     trace::Distribution *vtwWalkNs_ = nullptr;
     trace::Distribution *shootdownNs_ = nullptr;
+    prof::Pmu *pmu_ = nullptr;
 
     struct WalkOutcome {
         sim::Cycles latency = 0;
         Fault fault = Fault::None;
         VlbEntry entry;
+        unsigned depth = 0; ///< table blocks touched by the walk
     };
 
     /** VTW traversal on a VLB miss; installs into @p target on success. */

@@ -276,6 +276,44 @@ TEST(Histogram, WeightedRecord)
     EXPECT_DOUBLE_EQ(h.mean(), 5.0);
 }
 
+TEST(Histogram, EmptyHistogramReportsZeroEverywhere)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.percentile(0), 0u);
+    EXPECT_EQ(h.percentile(50), 0u);
+    EXPECT_EQ(h.percentile(100), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleSampleNeverInterpolatesOutOfRange)
+{
+    // 100 lands in the [96, 104) bucket; every percentile must still
+    // report the one recorded value, not the bucket's lower bound.
+    Histogram h;
+    h.record(100);
+    EXPECT_EQ(h.percentile(0), 100u);
+    EXPECT_EQ(h.percentile(50), 100u);
+    EXPECT_EQ(h.percentile(99), 100u);
+    EXPECT_EQ(h.percentile(100), 100u);
+}
+
+TEST(Histogram, ExtremePercentilesPinToObservedRange)
+{
+    Histogram h;
+    h.record(3);
+    h.record(1000);
+    EXPECT_EQ(h.percentile(0), 3u);
+    EXPECT_EQ(h.percentile(100), 1000u);
+    // p=0 is exactly min even when min shares a bucket with nothing.
+    Histogram g;
+    g.record(97);
+    g.record(1000000);
+    EXPECT_EQ(g.percentile(0), 97u);
+    EXPECT_GE(g.percentile(100), 97u);
+    EXPECT_LE(g.percentile(100), 1000000u);
+}
+
 TEST(Histogram, RenderProducesOutput)
 {
     Histogram h;

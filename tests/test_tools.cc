@@ -1,0 +1,238 @@
+/**
+ * @file
+ * End-to-end tests for the command-line tools, shelling out to the
+ * built binaries (paths injected by CMake):
+ *
+ *  - jordsim --prof-out / --pmu-out produce the advertised files,
+ *    byte-identical across same-seed runs, and --prof-hz validates;
+ *  - trace_report and jordlint exit non-zero on empty and truncated
+ *    trace files;
+ *  - jordprof diff exits zero on identical inputs and non-zero on a
+ *    synthetic 20% P99 regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string
+shellQuote(const std::string &s)
+{
+    return "'" + s + "'";
+}
+
+/** Run a command with stdout/stderr captured; return its exit code. */
+int
+runCmd(const std::string &cmd)
+{
+    int status = std::system((cmd + " >/dev/null 2>&1").c_str());
+    if (status < 0)
+        return -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(in)) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+spit(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(static_cast<bool>(out)) << path;
+    out << content;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "jord_tools_" + name;
+}
+
+const std::string kJordsim = JORD_JORDSIM_BIN;
+const std::string kJordprof = JORD_JORDPROF_BIN;
+const std::string kTraceReport = JORD_TRACE_REPORT_BIN;
+const std::string kJordlint = JORD_JORDLINT_BIN;
+
+std::string
+profRun(const std::string &base, const std::string &extra = "")
+{
+    return kJordsim +
+           " --workload Hotel --mrps 2.0 --requests 3000 --csv " +
+           extra + " --prof-out " + shellQuote(base);
+}
+
+// --- jordsim profiling flags ------------------------------------------------
+
+TEST(JordsimProf, ProfOutWritesAllArtifactsDeterministically)
+{
+    std::string a = tmpPath("prof_a"), b = tmpPath("prof_b");
+    ASSERT_EQ(runCmd(profRun(a)), 0);
+    ASSERT_EQ(runCmd(profRun(b)), 0);
+    for (const char *ext :
+         {".folded", ".timeseries.csv", ".topdown.csv", ".json"}) {
+        std::string fa = slurp(a + ext), fb = slurp(b + ext);
+        EXPECT_FALSE(fa.empty()) << ext;
+        EXPECT_EQ(fa, fb) << ext;
+    }
+    // The JSON summary parses and reports samples were taken.
+    std::string json = slurp(a + ".json");
+    EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+    EXPECT_NE(json.find("\"topdown.retire\""), std::string::npos);
+    EXPECT_EQ(runCmd(kJordprof + " report " + shellQuote(a + ".json")),
+              0);
+}
+
+TEST(JordsimProf, PmuOutWritesCounterCsv)
+{
+    std::string path = tmpPath("pmu.csv");
+    ASSERT_EQ(runCmd(kJordsim +
+                     " --workload Hotel --mrps 1.0 --requests 2000 "
+                     "--csv --pmu-out " +
+                     shellQuote(path)),
+              0);
+    std::string csv = slurp(path);
+    EXPECT_NE(csv.find("core,counter,value"), std::string::npos);
+    EXPECT_NE(csv.find("retired_ops"), std::string::npos);
+    EXPECT_NE(csv.find("total,"), std::string::npos);
+}
+
+TEST(JordsimProf, ProfHzValidatesItsArgument)
+{
+    std::string base = tmpPath("prof_hz");
+    // Negative rates are rejected.
+    EXPECT_NE(runCmd(profRun(base, "--prof-hz -5")), 0);
+    // Rates above one sample per core cycle exceed the event-queue
+    // horizon.
+    EXPECT_NE(runCmd(profRun(base, "--prof-hz 1e13")), 0);
+    // An explicit zero disables profiling: run succeeds, no files.
+    std::string off = tmpPath("prof_off");
+    std::remove((off + ".json").c_str());
+    EXPECT_EQ(runCmd(profRun(off, "--prof-hz 0")), 0);
+    std::ifstream probe(off + ".json");
+    EXPECT_FALSE(static_cast<bool>(probe));
+}
+
+TEST(JordsimProf, HelpDocumentsProfilingFlags)
+{
+    std::string out = tmpPath("help.txt");
+    ASSERT_EQ(std::system((kJordsim + " --help > " + shellQuote(out) +
+                           " 2>&1")
+                              .c_str()),
+              0);
+    std::string help = slurp(out);
+    EXPECT_NE(help.find("--prof-out"), std::string::npos);
+    EXPECT_NE(help.find("--prof-hz"), std::string::npos);
+    EXPECT_NE(help.find("--pmu-out"), std::string::npos);
+}
+
+// --- trace_report / jordlint robustness --------------------------------------
+
+class TraceToolsTest : public ::testing::Test
+{
+  protected:
+    static std::string tracePath_;
+
+    static void
+    SetUpTestSuite()
+    {
+        tracePath_ = tmpPath("trace.json");
+        ASSERT_EQ(runCmd(kJordsim +
+                         " --workload Hotel --mrps 1.0 "
+                         "--requests 2000 --csv --trace-out " +
+                         shellQuote(tracePath_)),
+                  0);
+    }
+};
+
+std::string TraceToolsTest::tracePath_;
+
+TEST_F(TraceToolsTest, ToolsAcceptACompleteTrace)
+{
+    EXPECT_EQ(runCmd(kTraceReport + " " + shellQuote(tracePath_)), 0);
+    EXPECT_EQ(runCmd(kJordlint + " " + shellQuote(tracePath_)), 0);
+}
+
+TEST_F(TraceToolsTest, ToolsRejectEmptyTraces)
+{
+    std::string empty = tmpPath("empty.json");
+    spit(empty, "");
+    EXPECT_NE(runCmd(kTraceReport + " " + shellQuote(empty)), 0);
+    EXPECT_NE(runCmd(kJordlint + " " + shellQuote(empty)), 0);
+}
+
+TEST_F(TraceToolsTest, ToolsRejectTruncatedTraces)
+{
+    std::string full = slurp(tracePath_);
+    ASSERT_GT(full.size(), 4000u);
+    std::string trunc = tmpPath("trunc.json");
+    spit(trunc, full.substr(0, full.size() / 2));
+    EXPECT_NE(runCmd(kTraceReport + " " + shellQuote(trunc)), 0);
+    EXPECT_NE(runCmd(kJordlint + " " + shellQuote(trunc)), 0);
+}
+
+// --- jordprof diff ------------------------------------------------------------
+
+TEST(JordprofDiff, IdenticalInputsPassAndRegressionsFail)
+{
+    std::string old_path = tmpPath("bench_old.json");
+    std::string new_path = tmpPath("bench_new.json");
+    spit(old_path, "{\n"
+                   "  \"fig9.Hotel.Jord.goodput_mrps\": 4.0,\n"
+                   "  \"p50_us\": 3.0,\n"
+                   "  \"p99_us\": 5.0\n"
+                   "}\n");
+    EXPECT_EQ(runCmd(kJordprof + " diff " + shellQuote(old_path) + " " +
+                     shellQuote(old_path) + " --threshold 10%"),
+              0);
+
+    // A synthetic 20% P99 regression must fail a 10% gate.
+    spit(new_path, "{\n"
+                   "  \"fig9.Hotel.Jord.goodput_mrps\": 4.0,\n"
+                   "  \"p50_us\": 3.0,\n"
+                   "  \"p99_us\": 6.0\n"
+                   "}\n");
+    EXPECT_EQ(runCmd(kJordprof + " diff " + shellQuote(old_path) + " " +
+                     shellQuote(new_path) + " --threshold 10%"),
+              1);
+    // ...and pass a 25% gate (threshold accepted as a fraction too).
+    EXPECT_EQ(runCmd(kJordprof + " diff " + shellQuote(old_path) + " " +
+                     shellQuote(new_path) + " --threshold 0.25"),
+              0);
+
+    // Goodput is higher-is-better: a 20% drop fails.
+    spit(new_path, "{\n"
+                   "  \"fig9.Hotel.Jord.goodput_mrps\": 3.2,\n"
+                   "  \"p50_us\": 3.0,\n"
+                   "  \"p99_us\": 5.0\n"
+                   "}\n");
+    EXPECT_EQ(runCmd(kJordprof + " diff " + shellQuote(old_path) + " " +
+                     shellQuote(new_path) + " --threshold 10%"),
+              1);
+}
+
+TEST(JordprofDiff, RejectsEmptyAndMalformedInputs)
+{
+    std::string empty = tmpPath("empty_bench.json");
+    spit(empty, "");
+    EXPECT_NE(runCmd(kJordprof + " report " + shellQuote(empty)), 0);
+    std::string garbage = tmpPath("garbage_bench.json");
+    spit(garbage, "{\"p99_us\": 5.0");
+    EXPECT_NE(runCmd(kJordprof + " diff " + shellQuote(garbage) + " " +
+                     shellQuote(garbage)),
+              0);
+}
+
+} // namespace

@@ -34,6 +34,7 @@
 #include <unordered_map>
 
 #include "sim/logging.hh"
+#include "trace/integrity.hh"
 
 namespace {
 
@@ -105,6 +106,7 @@ main(int argc, char **argv)
     if (path.empty())
         jord::sim::fatal("usage: jordlint [--verbose] TRACE.json");
 
+    jord::trace::requireCompleteTraceFile(path);
     std::ifstream in(path);
     if (!in)
         jord::sim::fatal("cannot open '%s'", path.c_str());

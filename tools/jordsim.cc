@@ -19,10 +19,15 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <string>
 
 #include "check/check.hh"
 #include "fault/fault.hh"
+#include "prof/pmu.hh"
+#include "prof/profile_json.hh"
+#include "prof/profiler.hh"
 #include "sim/logging.hh"
 #include "trace/export.hh"
 #include "trace/metrics.hh"
@@ -68,6 +73,10 @@ struct Options {
     unsigned sweepN = 0;
     std::string traceOut;
     std::string metricsOut;
+    std::string profOut;
+    std::string pmuOut;
+    double profHz = 0;
+    bool profHzSet = false;
     std::string faultPlan;
     double timeoutUs = 0;
     unsigned maxRetries = 0;
@@ -137,6 +146,24 @@ printUsage()
         "                      off, output is byte-identical to a\n"
         "                      build without the checker.\n"
         "\n"
+        "profiling (off by default; profiling off leaves every other\n"
+        "output byte-identical):\n"
+        "  --prof-out BASE     enable the PMU and sampling profiler and\n"
+        "                      write BASE.folded (flamegraph folded\n"
+        "                      stacks), BASE.timeseries.csv (sampled\n"
+        "                      gauges), BASE.topdown.csv (per-core\n"
+        "                      cycle attribution) and BASE.json (flat\n"
+        "                      profile summary for jordprof)\n"
+        "  --prof-hz HZ        sample rate in samples per simulated\n"
+        "                      second (default 100000 when --prof-out\n"
+        "                      is given; 0 disables profiling even if\n"
+        "                      --prof-out/--pmu-out are present; rates\n"
+        "                      above one sample per core cycle exceed\n"
+        "                      the event-queue horizon and are\n"
+        "                      rejected)\n"
+        "  --pmu-out FILE      enable the PMU and write its per-core\n"
+        "                      counters as CSV\n"
+        "\n"
         "output:\n"
         "  --csv               machine-readable output\n"
         "  --trace-out FILE    write a Chrome trace-event / Perfetto\n"
@@ -199,6 +226,17 @@ parseArgs(int argc, char **argv)
             opt.traceOut = value();
         else if (flag == "--metrics-out")
             opt.metricsOut = value();
+        else if (flag == "--prof-out")
+            opt.profOut = value();
+        else if (flag == "--pmu-out")
+            opt.pmuOut = value();
+        else if (flag == "--prof-hz") {
+            opt.profHz = std::strtod(value().c_str(), nullptr);
+            opt.profHzSet = true;
+            if (opt.profHz < 0)
+                sim::fatal("--prof-hz expects a rate >= 0, got %g",
+                           opt.profHz);
+        }
         else if (flag == "--fault-plan")
             opt.faultPlan = value();
         else if (flag == "--timeout-us")
@@ -278,7 +316,96 @@ runOnce(const Options &opt)
     if (!opt.metricsOut.empty())
         worker.attachMetrics(registry);
 
+    // Profiling: the PMU attaches whenever a profile output was
+    // requested, the sampling profiler only for --prof-out.  An
+    // explicit --prof-hz 0 turns profiling off entirely: nothing is
+    // attached, so the run is byte-identical to an unprofiled one.
+    bool want_prof = !opt.profOut.empty() || !opt.pmuOut.empty();
+    double hz = opt.profHzSet ? opt.profHz : 100000.0;
+    double horizon_hz = cfg.machine.freqGhz * 1e9;
+    if (hz > horizon_hz)
+        sim::fatal("--prof-hz %g exceeds the event-queue horizon: a "
+                   "%g GHz clock allows at most %g samples per "
+                   "simulated second",
+                   hz, cfg.machine.freqGhz, horizon_hz);
+    if (opt.profHzSet && hz == 0 && want_prof) {
+        std::fprintf(stderr, "profiling disabled by --prof-hz 0; "
+                             "skipping profile outputs\n");
+        want_prof = false;
+    }
+    std::optional<prof::Pmu> pmu;
+    std::optional<prof::Profiler> profiler;
+    if (want_prof) {
+        pmu.emplace(cfg.machine.numCores);
+        worker.setPmu(&*pmu);
+        if (!opt.profOut.empty()) {
+            prof::Profiler::Config pcfg;
+            pcfg.hz = hz;
+            pcfg.freqGhz = cfg.machine.freqGhz;
+            profiler.emplace(worker.eventQueue(), worker, pcfg);
+            worker.setProfiler(&*profiler);
+        }
+    }
+
     RunResult res = worker.run(opt.mrps, opt.requests, w.mix);
+
+    auto openOut = [](const std::string &path) {
+        std::ofstream out(path);
+        if (!out)
+            sim::fatal("cannot open '%s'", path.c_str());
+        return out;
+    };
+    if (profiler) {
+        {
+            auto out = openOut(opt.profOut + ".folded");
+            profiler->writeFolded(out);
+        }
+        {
+            auto out = openOut(opt.profOut + ".timeseries.csv");
+            profiler->writeTimeSeriesCsv(out);
+        }
+        {
+            auto out = openOut(opt.profOut + ".topdown.csv");
+            pmu->writeTopDownCsv(out);
+        }
+        std::map<std::string, double> summary;
+        summary["achieved_mrps"] = res.achievedMrps;
+        summary["mean_us"] = res.latencyUs.mean();
+        summary["p50_us"] = res.latencyUs.p50();
+        summary["p99_us"] = res.latencyUs.p99();
+        summary["samples"] = static_cast<double>(profiler->samples());
+        summary["total_ticks"] =
+            static_cast<double>(pmu->totalTicks());
+        for (unsigned c = 0; c < prof::Pmu::kNumCounters; ++c) {
+            auto counter = static_cast<prof::PmuCounter>(c);
+            summary[std::string("counter.") +
+                    prof::pmuCounterName(counter)] =
+                static_cast<double>(pmu->totalCounter(counter));
+        }
+        for (unsigned b = 0; b < prof::Pmu::kNumBuckets; ++b) {
+            auto bucket = static_cast<prof::PmuBucket>(b);
+            std::uint64_t total = 0;
+            for (unsigned core = 0; core < pmu->numCores(); ++core)
+                total += pmu->bucket(core, bucket);
+            summary[std::string("topdown.") +
+                    prof::pmuBucketName(bucket)] =
+                static_cast<double>(total);
+        }
+        auto out = openOut(opt.profOut + ".json");
+        prof::writeFlatJson(out, summary);
+        std::fprintf(stderr,
+                     "wrote %llu profile samples to %s.{folded,"
+                     "timeseries.csv,topdown.csv,json}\n",
+                     static_cast<unsigned long long>(
+                         profiler->samples()),
+                     opt.profOut.c_str());
+    }
+    if (pmu && !opt.pmuOut.empty()) {
+        auto out = openOut(opt.pmuOut);
+        pmu->writeCountersCsv(out);
+        std::fprintf(stderr, "wrote PMU counters to %s\n",
+                     opt.pmuOut.c_str());
+    }
 
     if (!opt.traceOut.empty()) {
         std::ofstream out(opt.traceOut);

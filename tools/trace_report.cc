@@ -21,6 +21,7 @@
 
 #include "sim/logging.hh"
 #include "trace/breakdown.hh"
+#include "trace/integrity.hh"
 
 using namespace jord;
 
@@ -45,6 +46,7 @@ main(int argc, char **argv)
     if (path.empty())
         sim::fatal("usage: trace_report [--csv] TRACE.json");
 
+    trace::requireCompleteTraceFile(path);
     std::ifstream in(path);
     if (!in)
         sim::fatal("cannot open '%s'", path.c_str());
