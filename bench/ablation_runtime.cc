@@ -4,11 +4,18 @@
  * number of orchestrators, the JBSQ bound, and the dispatch-scan
  * memory-level parallelism. Each knob is swept on Hipster at a fixed
  * offered load and at the throughput knee.
+ *
+ * Host-parallel: --jobs N runs the fourteen knob settings (and the
+ * load points inside each sweep) concurrently; each job owns its
+ * workers and commits to a per-setting slot, so the tables are
+ * byte-identical to --jobs 1.
  */
 
 #include <cstdlib>
+#include <iterator>
 
 #include "bench/common.hh"
+#include "par/par.hh"
 #include "stats/table.hh"
 #include "workloads/sweep.hh"
 
@@ -20,52 +27,113 @@ using runtime::WorkerServer;
 
 namespace {
 
-std::uint64_t gRequests = 4000;
-
 /** Throughput under SLO for one worker configuration. */
 double
 tputUnderSlo(const workloads::Workload &w, const WorkerConfig &wc,
-             double slo_us)
+             double slo_us, std::uint64_t requests,
+             par::ThreadPool *pool)
 {
     workloads::SweepConfig cfg;
     cfg.worker = wc;
-    cfg.requestsPerPoint = gRequests;
+    cfg.requestsPerPoint = requests;
+    cfg.pool = pool;
     auto loads = workloads::loadSeries(1.0, 14.0, 8);
     return workloads::sweepLoad(w, SystemKind::Jord, loads, slo_us,
                                 cfg)
         .throughputUnderSlo;
 }
 
+/** Per-setting results, one struct per ablation section. */
+struct OrchRow {
+    std::uint64_t executors = 0;
+    double tput = 0;
+    double meanUs = 0;
+};
+
+struct JbsqRow {
+    double tput = 0;
+    double p99Us = 0;
+};
+
+struct MlpRow {
+    double scanNs = 0;
+    double tput = 0;
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args =
+        bench::BenchArgs::parse(argc, argv, "ablation_runtime");
+    std::uint64_t requests = args.quick ? 1500 : 4000;
     if (const char *env = std::getenv("JORD_ABLATION_REQUESTS"))
-        gRequests = std::strtoull(env, nullptr, 10);
+        requests = std::strtoull(env, nullptr, 10);
+    std::unique_ptr<par::ThreadPool> pool = args.makePool();
 
     workloads::Workload w = workloads::makeHipster();
     workloads::SweepConfig base;
-    base.requestsPerPoint = gRequests;
+    base.requestsPerPoint = requests;
+    base.pool = pool.get();
     double slo_us = workloads::measureSloUs(w, base);
+
+    const unsigned orchs[] = {1, 2, 4, 8};
+    const unsigned bounds[] = {1, 2, 3, 6, 12};
+    const unsigned mlps[] = {1, 2, 4, 8, 16};
+
+    // Compute phase: every knob setting is an independent job (each
+    // nests its sweep's load points on the same pool).
+    bench::Slots<OrchRow> orch_rows(std::size(orchs));
+    bench::Slots<JbsqRow> jbsq_rows(std::size(bounds));
+    bench::Slots<MlpRow> mlp_rows(std::size(mlps));
+    par::TaskGroup group(pool.get());
+    for (std::size_t i = 0; i < std::size(orchs); ++i)
+        group.run([&, i] {
+            WorkerConfig wc;
+            wc.numOrchestrators = orchs[i];
+            OrchRow row;
+            row.tput = tputUnderSlo(w, wc, slo_us, requests, pool.get());
+            WorkerServer worker(wc, w.registry);
+            RunResult res = worker.run(4.0, requests, w.mix);
+            row.executors = worker.numExecutors();
+            row.meanUs = res.latencyUs.mean();
+            orch_rows.set(i, row);
+        });
+    for (std::size_t i = 0; i < std::size(bounds); ++i)
+        group.run([&, i] {
+            WorkerConfig wc;
+            wc.jbsqBound = bounds[i];
+            JbsqRow row;
+            row.tput = tputUnderSlo(w, wc, slo_us, requests, pool.get());
+            WorkerServer worker(wc, w.registry);
+            RunResult res = worker.run(4.0, requests, w.mix);
+            row.p99Us = res.latencyUs.p99();
+            jbsq_rows.set(i, row);
+        });
+    for (std::size_t i = 0; i < std::size(mlps); ++i)
+        group.run([&, i] {
+            WorkerConfig wc;
+            wc.dispatchMlp = mlps[i];
+            MlpRow row;
+            WorkerServer worker(wc, w.registry);
+            row.scanNs = worker.measureDispatchScanNs();
+            row.tput = tputUnderSlo(w, wc, slo_us, requests, pool.get());
+            mlp_rows.set(i, row);
+        });
+    group.wait();
 
     bench::banner("Ablation 1: orchestrator count (Hipster)");
     {
         stats::Table table({"Orchestrators", "Executors",
                             "Tput under SLO (MRPS)",
                             "Mean latency @4MRPS (us)"});
-        for (unsigned orchs : {1u, 2u, 4u, 8u}) {
-            WorkerConfig wc;
-            wc.numOrchestrators = orchs;
-            double tput = tputUnderSlo(w, wc, slo_us);
-            WorkerServer worker(wc, w.registry);
-            RunResult res = worker.run(4.0, gRequests, w.mix);
-            table.addRow({stats::Table::cell(std::uint64_t(orchs)),
-                          stats::Table::cell(std::uint64_t(
-                              worker.numExecutors())),
-                          stats::Table::cell(tput, "%.2f"),
-                          stats::Table::cell(res.latencyUs.mean(),
-                                             "%.2f")});
+        for (std::size_t i = 0; i < std::size(orchs); ++i) {
+            const OrchRow &row = orch_rows.at(i);
+            table.addRow({stats::Table::cell(std::uint64_t(orchs[i])),
+                          stats::Table::cell(row.executors),
+                          stats::Table::cell(row.tput, "%.2f"),
+                          stats::Table::cell(row.meanUs, "%.2f")});
         }
         std::printf("%s\n", table.render().c_str());
         std::printf("Too few orchestrators bottleneck dispatch of\n"
@@ -77,16 +145,11 @@ main()
     {
         stats::Table table({"JBSQ bound", "Tput under SLO (MRPS)",
                             "P99 @4MRPS (us)"});
-        for (unsigned bound : {1u, 2u, 3u, 6u, 12u}) {
-            WorkerConfig wc;
-            wc.jbsqBound = bound;
-            double tput = tputUnderSlo(w, wc, slo_us);
-            WorkerServer worker(wc, w.registry);
-            RunResult res = worker.run(4.0, gRequests, w.mix);
-            table.addRow({stats::Table::cell(std::uint64_t(bound)),
-                          stats::Table::cell(tput, "%.2f"),
-                          stats::Table::cell(res.latencyUs.p99(),
-                                             "%.2f")});
+        for (std::size_t i = 0; i < std::size(bounds); ++i) {
+            const JbsqRow &row = jbsq_rows.at(i);
+            table.addRow({stats::Table::cell(std::uint64_t(bounds[i])),
+                          stats::Table::cell(row.tput, "%.2f"),
+                          stats::Table::cell(row.p99Us, "%.2f")});
         }
         std::printf("%s\n", table.render().c_str());
         std::printf("A small bound keeps tail latency low (single-\n"
@@ -98,15 +161,11 @@ main()
     {
         stats::Table table({"Scan MLP", "Dispatch latency (ns)",
                             "Tput under SLO (MRPS)"});
-        for (unsigned mlp : {1u, 2u, 4u, 8u, 16u}) {
-            WorkerConfig wc;
-            wc.dispatchMlp = mlp;
-            WorkerServer worker(wc, w.registry);
-            double scan_ns = worker.measureDispatchScanNs();
-            double tput = tputUnderSlo(w, wc, slo_us);
-            table.addRow({stats::Table::cell(std::uint64_t(mlp)),
-                          stats::Table::cell(scan_ns, "%.0f"),
-                          stats::Table::cell(tput, "%.2f")});
+        for (std::size_t i = 0; i < std::size(mlps); ++i) {
+            const MlpRow &row = mlp_rows.at(i);
+            table.addRow({stats::Table::cell(std::uint64_t(mlps[i])),
+                          stats::Table::cell(row.scanNs, "%.0f"),
+                          stats::Table::cell(row.tput, "%.2f")});
         }
         std::printf("%s\n", table.render().c_str());
         std::printf("Queue-length loads overlap in the LSQ; without\n"

@@ -11,8 +11,10 @@
  */
 
 #include <cstdlib>
+#include <iterator>
 
 #include "bench/common.hh"
+#include "par/par.hh"
 #include "stats/table.hh"
 #include "workloads/workloads.hh"
 
@@ -23,9 +25,11 @@ using runtime::WorkerConfig;
 using runtime::WorkerServer;
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::uint64_t requests = 6000;
+    bench::BenchArgs args =
+        bench::BenchArgs::parse(argc, argv, "coldstart_compare");
+    std::uint64_t requests = args.quick ? 2000 : 6000;
     if (const char *env = std::getenv("JORD_COLDSTART_REQUESTS"))
         requests = std::strtoull(env, nullptr, 10);
 
@@ -44,14 +48,22 @@ main()
         {SystemKind::NightCore, 1},
         {SystemKind::NightCore, 64},
     };
-    for (const Cfg &c : cfgs) {
-        WorkerConfig wc;
-        wc.system = c.system;
-        if (c.provisioned)
-            wc.provisioning.preProvisioned = c.provisioned;
-        WorkerServer worker(wc, w.registry);
-        // No warmup exclusion: the cold start is the measurement.
-        RunResult res = worker.run(2.0, requests, w.mix, 0.0);
+    // One host-parallel job per configuration; each owns its worker
+    // and the table renders afterwards in the fixed order.
+    std::unique_ptr<par::ThreadPool> pool = args.makePool();
+    std::vector<RunResult> results = par::orderedMap<RunResult>(
+        pool.get(), std::size(cfgs), [&](std::size_t i) {
+            WorkerConfig wc;
+            wc.system = cfgs[i].system;
+            if (cfgs[i].provisioned)
+                wc.provisioning.preProvisioned = cfgs[i].provisioned;
+            WorkerServer worker(wc, w.registry);
+            // No warmup exclusion: the cold start is the measurement.
+            return worker.run(2.0, requests, w.mix, 0.0);
+        });
+    for (std::size_t i = 0; i < std::size(cfgs); ++i) {
+        const Cfg &c = cfgs[i];
+        const RunResult &res = results[i];
         table.addRow(
             {systemName(c.system),
              c.system == SystemKind::Jord

@@ -9,16 +9,19 @@
 #define JORD_BENCH_COMMON_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "mem/coherence.hh"
 #include "noc/mesh.hh"
 #include "os/kernel.hh"
+#include "par/par.hh"
 #include "privlib/privlib.hh"
 #include "prof/profile_json.hh"
 #include "sim/logging.hh"
@@ -107,12 +110,60 @@ banner(const std::string &title)
 }
 
 /**
+ * Per-point result slots for host-parallel benches. Accumulating into
+ * a shared vector with push_back assumes single-threaded, in-order
+ * append; a reordered or concurrent fill would silently corrupt the
+ * series (and any percentiles derived from it). Slots make the
+ * commit explicit: pre-sized, one writer per index, double-commit and
+ * missing-commit are panics. Jobs running under par::ThreadPool must
+ * likewise own their stats::Samplers and commit them here — never
+ * record into a sampler shared across jobs.
+ */
+template <typename T>
+class Slots
+{
+  public:
+    explicit Slots(std::size_t n) : values_(n), committed_(n, 0) {}
+
+    void
+    set(std::size_t i, T value)
+    {
+        if (i >= values_.size())
+            sim::panic("bench slot %zu out of range (%zu slots)", i,
+                       values_.size());
+        if (committed_[i])
+            sim::panic("bench slot %zu committed twice", i);
+        values_[i] = std::move(value);
+        committed_[i] = 1;
+    }
+
+    const T &
+    at(std::size_t i) const
+    {
+        if (i >= values_.size() || !committed_[i])
+            sim::panic("bench slot %zu read before commit", i);
+        return values_[i];
+    }
+
+    std::size_t size() const { return values_.size(); }
+
+  private:
+    std::vector<T> values_;
+    /** char, not vector<bool>: adjacent slots must not share bytes
+     * when committed from different threads. */
+    std::vector<char> committed_;
+};
+
+/**
  * Standard bench CLI: `--quick` shrinks the run for CI perf gating,
- * `--json PATH` overrides where the BENCH_<name>.json summary lands.
+ * `--json PATH` overrides where the BENCH_<name>.json summary lands,
+ * `--jobs N` fans independent simulation points across N host
+ * threads (0 = all cores; output stays byte-identical to --jobs 1).
  */
 struct BenchArgs {
     bool quick = false;
     std::string jsonPath;
+    unsigned jobs = par::defaultJobs();
 
     static BenchArgs
     parse(int argc, char **argv, const std::string &bench_name)
@@ -129,13 +180,31 @@ struct BenchArgs {
                 args.jsonPath = argv[++i];
             } else if (arg.rfind("--json=", 0) == 0) {
                 args.jsonPath = arg.substr(std::strlen("--json="));
+            } else if (arg == "--jobs") {
+                if (i + 1 >= argc)
+                    sim::fatal("--jobs requires a value");
+                args.jobs = par::resolveJobs(static_cast<unsigned>(
+                    std::strtoul(argv[++i], nullptr, 10)));
+            } else if (arg.rfind("--jobs=", 0) == 0) {
+                args.jobs = par::resolveJobs(static_cast<unsigned>(
+                    std::strtoul(arg.c_str() + std::strlen("--jobs="),
+                                 nullptr, 10)));
             } else {
                 sim::fatal("unknown flag '%s' "
-                           "(--quick, --json PATH)",
+                           "(--quick, --json PATH, --jobs N)",
                            arg.c_str());
             }
         }
         return args;
+    }
+
+    /** The host-parallel pool for --jobs (null = serial). */
+    std::unique_ptr<par::ThreadPool>
+    makePool() const
+    {
+        if (jobs <= 1)
+            return nullptr;
+        return std::make_unique<par::ThreadPool>(jobs);
     }
 };
 

@@ -14,15 +14,16 @@
  *      the process-based baseline, whose failure mode is a dropped
  *      gateway/engine pipe message rather than an in-PD crash.
  *
- * Flags: --quick shrinks the sweep for CI smoke runs.
+ * Flags: --quick shrinks the sweep for CI smoke runs; --jobs N runs
+ * the sweep points host-parallel with byte-identical output.
  * Environment knobs: JORD_FAULT_REQUESTS overrides requests per point.
  */
 
 #include <cstdlib>
-#include <cstring>
 
 #include "bench/common.hh"
 #include "fault/fault.hh"
+#include "par/par.hh"
 #include "stats/table.hh"
 #include "workloads/workloads.hh"
 
@@ -83,11 +84,9 @@ addRow(stats::Table &table, double rate, const RunResult &res)
 int
 main(int argc, char **argv)
 {
-    bool quick = false;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--quick"))
-            quick = true;
-    }
+    bench::BenchArgs args =
+        bench::BenchArgs::parse(argc, argv, "fault_availability");
+    bool quick = args.quick;
 
     PointConfig pc;
     pc.requests = quick ? 3000 : 12000;
@@ -97,8 +96,28 @@ main(int argc, char **argv)
     std::vector<double> crash_rates =
         quick ? std::vector<double>{0, 0.01, 0.05}
               : std::vector<double>{0, 0.005, 0.01, 0.02, 0.05, 0.10};
+    std::vector<double> drop_rates =
+        quick ? std::vector<double>{0, 0.02}
+              : std::vector<double>{0, 0.01, 0.02, 0.05};
 
     workloads::Workload hotel = workloads::makeHotel();
+
+    // Compute phase: both sections' points as one flat job list (the
+    // Jord crash sweep first, then the NightCore drop sweep), each
+    // committing to its submission slot; the tables render afterwards
+    // so --jobs N output is byte-identical to --jobs 1.
+    std::unique_ptr<par::ThreadPool> pool = args.makePool();
+    std::vector<RunResult> results = par::orderedMap<RunResult>(
+        pool.get(), crash_rates.size() + drop_rates.size(),
+        [&](std::size_t i) {
+            PointConfig point = pc;
+            if (i < crash_rates.size()) {
+                point.rate = crash_rates[i];
+                return runPoint(hotel, SystemKind::Jord, point);
+            }
+            point.rate = drop_rates[i - crash_rates.size()];
+            return runPoint(hotel, SystemKind::NightCore, point);
+        });
 
     const std::vector<std::string> cols = {
         "Rate",    "Goodput (MRPS)", "Good %", "Good P99 (us)",
@@ -108,10 +127,8 @@ main(int argc, char **argv)
     bench::banner("Availability: Jord (Hotel), injected crash rate");
     std::printf("timeout=300us, retries=2, backoff=20us, shed cap=512\n");
     stats::Table jord_table(cols);
-    for (double rate : crash_rates) {
-        pc.rate = rate;
-        addRow(jord_table, rate, runPoint(hotel, SystemKind::Jord, pc));
-    }
+    for (std::size_t i = 0; i < crash_rates.size(); ++i)
+        addRow(jord_table, crash_rates[i], results[i]);
     std::printf("%s\n", jord_table.render().c_str());
     std::printf(
         "Expected shape: goodput degrades gracefully (retries absorb\n"
@@ -121,14 +138,9 @@ main(int argc, char **argv)
 
     bench::banner("Availability: NightCore (Hotel), pipe-drop rate");
     stats::Table ntc_table(cols);
-    std::vector<double> drop_rates =
-        quick ? std::vector<double>{0, 0.02}
-              : std::vector<double>{0, 0.01, 0.02, 0.05};
-    for (double rate : drop_rates) {
-        pc.rate = rate;
-        addRow(ntc_table, rate,
-               runPoint(hotel, SystemKind::NightCore, pc));
-    }
+    for (std::size_t i = 0; i < drop_rates.size(); ++i)
+        addRow(ntc_table, drop_rates[i],
+               results[crash_rates.size() + i]);
     std::printf("%s\n", ntc_table.render().c_str());
     std::printf(
         "NightCore drops are detected at the gateway (send + recv\n"

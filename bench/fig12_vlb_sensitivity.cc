@@ -7,11 +7,16 @@
  * workloads: Hipster for the I-VLB (two entries — the function's code
  * plus PrivLib's — already reach 99% of full throughput) and Media for
  * the D-VLB (eight entries cover the worst case of many live ArgBufs).
+ *
+ * Host-parallel: --jobs N runs the (workload, VLB-size) combinations
+ * concurrently, each sweep fanning its own load points; output is
+ * byte-identical to --jobs 1.
  */
 
 #include <cstdlib>
 
 #include "bench/common.hh"
+#include "par/par.hh"
 #include "stats/table.hh"
 #include "workloads/sweep.hh"
 
@@ -29,67 +34,109 @@ struct Variant {
     double lo, hi;
 };
 
+/** One (variant, entries) table row, committed by its job. */
+struct SizeRow {
+    double tputUnderSlo = 0;
+    double lowLoadP99Us = 0;
+    double hitRate = 0;
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::uint64_t requests = 6000;
+    bench::BenchArgs args =
+        bench::BenchArgs::parse(argc, argv, "fig12");
+    std::uint64_t requests = args.quick ? 1500 : 6000;
     if (const char *env = std::getenv("JORD_FIG12_REQUESTS"))
         requests = std::strtoull(env, nullptr, 10);
+    std::unique_ptr<par::ThreadPool> pool = args.makePool();
 
     bench::banner("Figure 12: VLB-size sensitivity "
                   "(Hipster I-VLB, Media D-VLB)");
 
     const unsigned sizes[] = {1, 2, 4, 16};
+    constexpr std::size_t kNumSizes = 4;
     const Variant variants[] = {
         {"Hipster", true, 0.5, 13.0},
         {"Media", false, 0.25, 4.5},
     };
+    constexpr std::size_t kNumVariants = 2;
 
+    // Job graph: each variant's SLO measurement precedes its four
+    // VLB-size jobs; rows commit to per-combination slots.
+    std::vector<workloads::Workload> wls;
+    std::vector<std::vector<double>> loads;
     for (const Variant &variant : variants) {
-        workloads::Workload w = workloads::makeByName(variant.workload);
-        workloads::SweepConfig scfg;
-        scfg.requestsPerPoint = requests;
-        double slo_us = workloads::measureSloUs(w, scfg);
-        std::vector<double> loads =
-            workloads::loadSeries(variant.lo, variant.hi, 10);
+        wls.push_back(workloads::makeByName(variant.workload));
+        loads.push_back(
+            workloads::loadSeries(variant.lo, variant.hi, 10));
+    }
+    workloads::SweepConfig scfg;
+    scfg.requestsPerPoint = requests;
+    scfg.pool = pool.get();
 
+    bench::Slots<double> slo(kNumVariants);
+    bench::Slots<SizeRow> rows(kNumVariants * kNumSizes);
+    par::JobGraph graph;
+    for (std::size_t vi = 0; vi < kNumVariants; ++vi) {
+        par::JobGraph::NodeId slo_node = graph.add([&, vi] {
+            slo.set(vi, workloads::measureSloUs(wls[vi], scfg));
+        });
+        for (std::size_t si = 0; si < kNumSizes; ++si) {
+            par::JobGraph::NodeId node = graph.add([&, vi, si] {
+                const Variant &variant = variants[vi];
+                unsigned entries = sizes[si];
+                workloads::SweepConfig cfg = scfg;
+                if (variant.vary_ivlb)
+                    cfg.worker.machine.ivlbEntries = entries;
+                else
+                    cfg.worker.machine.dvlbEntries = entries;
+
+                workloads::SweepResult res = workloads::sweepLoad(
+                    wls[vi], SystemKind::Jord, loads[vi], slo.at(vi),
+                    cfg);
+
+                // Hit rate measured separately at a moderate load.
+                WorkerConfig wc = cfg.worker;
+                WorkerServer worker(wc, wls[vi].registry);
+                RunResult run = worker.run(loads[vi][3], requests / 2,
+                                           wls[vi].mix);
+                double hits = 0, total = 0;
+                for (unsigned core = 0; core < wc.machine.numCores;
+                     ++core) {
+                    const uat::VlbStats &s =
+                        variant.vary_ivlb
+                            ? worker.uat().ivlb(core).stats()
+                            : worker.uat().dvlb(core).stats();
+                    hits += static_cast<double>(s.hits);
+                    total += static_cast<double>(s.hits + s.misses);
+                }
+                rows.set(vi * kNumSizes + si,
+                         SizeRow{res.throughputUnderSlo,
+                                 res.points.front().p99Us,
+                                 total > 0 ? hits / total : 0});
+            });
+            graph.precede(slo_node, node);
+        }
+    }
+    graph.run(pool.get());
+
+    for (std::size_t vi = 0; vi < kNumVariants; ++vi) {
+        const Variant &variant = variants[vi];
         std::printf("--- %s, varying %s (SLO = %.1f us) ---\n",
                     variant.workload,
-                    variant.vary_ivlb ? "I-VLB" : "D-VLB", slo_us);
+                    variant.vary_ivlb ? "I-VLB" : "D-VLB", slo.at(vi));
         stats::Table table({"Entries", "Tput under SLO (MRPS)",
                             "P99 @ low load (us)", "VLB hit rate"});
-        for (unsigned entries : sizes) {
-            workloads::SweepConfig cfg = scfg;
-            if (variant.vary_ivlb)
-                cfg.worker.machine.ivlbEntries = entries;
-            else
-                cfg.worker.machine.dvlbEntries = entries;
-
-            workloads::SweepResult res = workloads::sweepLoad(
-                w, SystemKind::Jord, loads, slo_us, cfg);
-
-            // Hit rate measured separately at a moderate load.
-            WorkerConfig wc = cfg.worker;
-            WorkerServer worker(wc, w.registry);
-            RunResult run = worker.run(loads[3], requests / 2, w.mix);
-            double hits = 0, total = 0;
-            for (unsigned core = 0; core < wc.machine.numCores;
-                 ++core) {
-                const uat::VlbStats &s =
-                    variant.vary_ivlb
-                        ? worker.uat().ivlb(core).stats()
-                        : worker.uat().dvlb(core).stats();
-                hits += static_cast<double>(s.hits);
-                total += static_cast<double>(s.hits + s.misses);
-            }
+        for (std::size_t si = 0; si < kNumSizes; ++si) {
+            const SizeRow &row = rows.at(vi * kNumSizes + si);
             table.addRow(
-                {stats::Table::cell(std::uint64_t(entries)),
-                 stats::Table::cell(res.throughputUnderSlo, "%.2f"),
-                 stats::Table::cell(res.points.front().p99Us, "%.2f"),
-                 stats::Table::cell(total > 0 ? hits / total : 0,
-                                    "%.4f")});
+                {stats::Table::cell(std::uint64_t(sizes[si])),
+                 stats::Table::cell(row.tputUnderSlo, "%.2f"),
+                 stats::Table::cell(row.lowLoadP99Us, "%.2f"),
+                 stats::Table::cell(row.hitRate, "%.4f")});
         }
         std::printf("%s\n", table.render().c_str());
     }

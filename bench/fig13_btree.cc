@@ -15,6 +15,7 @@
 #include "sim/rng.hh"
 
 #include "bench/common.hh"
+#include "par/par.hh"
 #include "stats/table.hh"
 #include "workloads/sweep.hh"
 
@@ -70,52 +71,89 @@ missPenaltyNs(bool btree, bool hot)
 
 } // namespace
 
+/** One system's table row, committed by its job. */
+struct SystemRow {
+    double tput = 0;
+    double service = 0;
+    double mgmt = 0;
+};
+
 int
-main()
+main(int argc, char **argv)
 {
-    std::uint64_t requests = 10000;
+    bench::BenchArgs args =
+        bench::BenchArgs::parse(argc, argv, "fig13");
+    std::uint64_t requests = args.quick ? 2500 : 10000;
     if (const char *env = std::getenv("JORD_FIG13_REQUESTS"))
         requests = std::strtoull(env, nullptr, 10);
+    std::unique_ptr<par::ThreadPool> pool = args.makePool();
+
+    workloads::Workload w = workloads::makeHotel();
+    workloads::SweepConfig cfg;
+    cfg.requestsPerPoint = requests;
+    cfg.pool = pool.get();
+    std::vector<double> loads = workloads::loadSeries(0.5, 9.0, 12);
+    const SystemKind systems[] = {SystemKind::Jord, SystemKind::JordBT};
+
+    // Compute phase: the four miss-penalty microbenchmarks, the SLO
+    // measurement, and (SLO-dependent) one job per system; results
+    // commit to slots and print afterwards in the fixed order.
+    bench::Slots<double> penalty(4); // (btree, hot) pairs, see below
+    const std::pair<bool, bool> penalty_cfgs[] = {
+        {false, true}, {true, true}, {false, false}, {true, false}};
+    bench::Slots<double> slo(1);
+    bench::Slots<SystemRow> rows(2);
+    par::JobGraph graph;
+    for (std::size_t i = 0; i < 4; ++i)
+        graph.add([&, i] {
+            penalty.set(i, missPenaltyNs(penalty_cfgs[i].first,
+                                         penalty_cfgs[i].second));
+        });
+    par::JobGraph::NodeId slo_node = graph.add(
+        [&] { slo.set(0, workloads::measureSloUs(w, cfg)); });
+    for (std::size_t i = 0; i < 2; ++i) {
+        par::JobGraph::NodeId node = graph.add([&, i] {
+            SystemRow row;
+            workloads::SweepResult sweep = workloads::sweepLoad(
+                w, systems[i], loads, slo.at(0), cfg);
+            row.tput = sweep.throughputUnderSlo;
+            // Service time + PrivLib accounting at a common moderate
+            // load.
+            WorkerConfig wc = cfg.worker;
+            wc.system = systems[i];
+            WorkerServer worker(wc, w.registry);
+            worker.privlib().resetStats();
+            RunResult res = worker.run(2.0, requests, w.mix);
+            row.service = res.serviceUs.mean();
+            row.mgmt = sim::cyclesToNs(
+                           static_cast<double>(
+                               worker.privlib().vmaManagementCycles()),
+                           wc.machine.freqGhz) /
+                       static_cast<double>(res.invocations);
+            rows.set(i, row);
+        });
+        graph.precede(slo_node, node);
+    }
+    graph.run(pool.get());
 
     bench::banner("Figure 13: plain-list vs B-tree VMA table (Hotel)");
 
     std::printf("VLB miss penalty (hot working set):   plain list "
                 "%.1f ns, B-tree %.1f ns\n",
-                missPenaltyNs(false, true), missPenaltyNs(true, true));
+                penalty.at(0), penalty.at(1));
     std::printf("VLB miss penalty (spread over table): plain list "
                 "%.1f ns, B-tree %.1f ns\n",
-                missPenaltyNs(false, false), missPenaltyNs(true, false));
+                penalty.at(2), penalty.at(3));
     std::printf("(paper: 2 ns common case vs 20 ns with the B-tree)\n\n");
-
-    workloads::Workload w = workloads::makeHotel();
-    workloads::SweepConfig cfg;
-    cfg.requestsPerPoint = requests;
-    double slo_us = workloads::measureSloUs(w, cfg);
-    std::vector<double> loads = workloads::loadSeries(0.5, 9.0, 12);
 
     stats::Table table({"System", "Tput under SLO (MRPS)",
                         "Mean service (us)",
                         "VMA mgmt (ns/invocation)"});
-    double tput[2] = {0, 0};
-    double service[2] = {0, 0};
-    double mgmt[2] = {0, 0};
-    const SystemKind systems[] = {SystemKind::Jord, SystemKind::JordBT};
+    double tput[2], service[2], mgmt[2];
     for (int i = 0; i < 2; ++i) {
-        workloads::SweepResult sweep =
-            workloads::sweepLoad(w, systems[i], loads, slo_us, cfg);
-        tput[i] = sweep.throughputUnderSlo;
-        // Service time + PrivLib accounting at a common moderate load.
-        WorkerConfig wc = cfg.worker;
-        wc.system = systems[i];
-        WorkerServer worker(wc, w.registry);
-        worker.privlib().resetStats();
-        RunResult res = worker.run(2.0, requests, w.mix);
-        service[i] = res.serviceUs.mean();
-        mgmt[i] = sim::cyclesToNs(
-                      static_cast<double>(
-                          worker.privlib().vmaManagementCycles()),
-                      wc.machine.freqGhz) /
-                  static_cast<double>(res.invocations);
+        tput[i] = rows.at(i).tput;
+        service[i] = rows.at(i).service;
+        mgmt[i] = rows.at(i).mgmt;
         table.addRow({systemName(systems[i]),
                       stats::Table::cell(tput[i], "%.2f"),
                       stats::Table::cell(service[i], "%.2f"),

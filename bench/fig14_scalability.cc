@@ -11,12 +11,18 @@
  * scan grows with the executor count and cross-socket latency, reaching
  * ~12 µs on the 2-socket 256-core machine — motivating per-socket
  * orchestrators.
+ *
+ * Host-parallel: --jobs N runs the scale points (and their dispatch
+ * scanners) concurrently — submitted largest-machine first so the
+ * critical path drains early — with byte-identical output; the CI
+ * parallel-determinism job also gates the wall-clock speedup here.
  */
 
 #include <algorithm>
 #include <cstdlib>
 
 #include "bench/common.hh"
+#include "par/par.hh"
 #include "stats/table.hh"
 #include "workloads/workloads.hh"
 
@@ -33,53 +39,88 @@ struct Scale {
     unsigned sockets;
 };
 
+/** What one scale point contributes to the table. */
+struct ScaleRow {
+    double serviceUs = 0;
+    double shootdownNs = 0;
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::uint64_t requests = 12000;
+    bench::BenchArgs args =
+        bench::BenchArgs::parse(argc, argv, "fig14");
+    std::uint64_t requests = args.quick ? 3000 : 12000;
     if (const char *env = std::getenv("JORD_FIG14_REQUESTS"))
         requests = std::strtoull(env, nullptr, 10);
-
-    bench::banner("Figure 14: scalability with system size (Hipster)");
+    std::unique_ptr<par::ThreadPool> pool = args.makePool();
 
     const Scale scales[] = {
         {"16-core", 16, 1},   {"64-core", 64, 1},
         {"128-core", 128, 1}, {"256-core", 256, 1},
         {"2-socket", 256, 2},
     };
+    constexpr std::size_t kNumScales = 5;
 
     workloads::Workload w = workloads::makeHipster();
 
+    // Two jobs per scale: the loaded run and the single-orchestrator
+    // dispatch scanner. Jobs commit to per-scale slots and printing
+    // follows in fixed order, so --jobs N output matches --jobs 1.
+    bench::Slots<ScaleRow> rows(kNumScales);
+    bench::Slots<double> dispatch_us(kNumScales);
+    par::TaskGroup group(pool.get());
+    // Largest machines first: they dominate wall-clock, so they must
+    // not start in the last scheduling round. (Commit slots keep the
+    // output order independent of this.)
+    for (std::size_t n = kNumScales; n-- > 0;) {
+        group.run([&, &scale = scales[n], n] {
+            // Service time and shootdown latency come from a
+            // realistically deployed worker (per-socket orchestrators)
+            // at a fixed per-core load, so they reflect scale, not
+            // utilization.
+            WorkerConfig cfg;
+            cfg.machine =
+                sim::MachineConfig::scaled(scale.cores, scale.sockets);
+            cfg.numOrchestrators = std::max(2u, scale.cores / 8);
+            WorkerServer worker(cfg, w.registry);
+            double load = 0.03 * scale.cores;
+            RunResult res = worker.run(load, requests, w.mix);
+            rows.set(n, ScaleRow{res.serviceUs.mean(),
+                                 res.shootdownNs.mean()});
+        });
+        group.run([&, &scale = scales[n], n] {
+            // The dispatch series is the paper's stress case: a single
+            // orchestrator scanning every executor in the system, all
+            // of whose queue-length lines changed since its last scan.
+            WorkerConfig scan_cfg;
+            scan_cfg.machine =
+                sim::MachineConfig::scaled(scale.cores, scale.sockets);
+            scan_cfg.numOrchestrators = 1;
+            scan_cfg.perSocketOrchestrators = false;
+            WorkerServer scanner(scan_cfg, w.registry);
+            dispatch_us.set(n, scanner.measureDispatchScanNs() / 1000.0);
+        });
+    }
+    group.wait();
+
+    bench::banner("Figure 14: scalability with system size (Hipster)");
+
     stats::Table table({"Scale", "Avg service (us)",
                         "VLB shootdown (ns)", "Dispatch (us)"});
-    for (const Scale &scale : scales) {
-        // Service time and shootdown latency come from a realistically
-        // deployed worker (per-socket orchestrators) at a fixed
-        // per-core load, so they reflect scale, not utilization.
-        WorkerConfig cfg;
-        cfg.machine =
-            sim::MachineConfig::scaled(scale.cores, scale.sockets);
-        cfg.numOrchestrators = std::max(2u, scale.cores / 8);
-        WorkerServer worker(cfg, w.registry);
-        double load = 0.03 * scale.cores;
-        RunResult res = worker.run(load, requests, w.mix);
-
-        // The dispatch series is the paper's stress case: a single
-        // orchestrator scanning every executor in the system, all of
-        // whose queue-length lines changed since its last scan.
-        WorkerConfig scan_cfg = cfg;
-        scan_cfg.numOrchestrators = 1;
-        scan_cfg.perSocketOrchestrators = false;
-        WorkerServer scanner(scan_cfg, w.registry);
-        double dispatch_us = scanner.measureDispatchScanNs() / 1000.0;
-
-        table.addRow({scale.name,
-                      stats::Table::cell(res.serviceUs.mean(), "%.2f"),
-                      stats::Table::cell(res.shootdownNs.mean(),
-                                         "%.1f"),
-                      stats::Table::cell(dispatch_us, "%.2f")});
+    std::map<std::string, double> json;
+    for (std::size_t n = 0; n < kNumScales; ++n) {
+        const ScaleRow &row = rows.at(n);
+        table.addRow({scales[n].name,
+                      stats::Table::cell(row.serviceUs, "%.2f"),
+                      stats::Table::cell(row.shootdownNs, "%.1f"),
+                      stats::Table::cell(dispatch_us.at(n), "%.2f")});
+        std::string prefix = std::string("fig14.") + scales[n].name;
+        json[prefix + ".service_us"] = row.serviceUs;
+        json[prefix + ".shootdown_ns"] = row.shootdownNs;
+        json[prefix + ".dispatch_us"] = dispatch_us.at(n);
     }
     std::printf("%s", table.render().c_str());
     std::printf("\nExpected shape: service time and shootdown latency\n"
@@ -87,5 +128,6 @@ main()
                 "orchestrator's dispatch latency grows steeply and\n"
                 "jumps on the 2-socket machine (paper: ~12 us),\n"
                 "motivating per-socket orchestrators (§6.3).\n");
+    bench::writeBenchJson(args.jsonPath, json);
     return 0;
 }

@@ -9,6 +9,11 @@
  * average, with NightCore failing the SLO even at minimum load for the
  * communication-heavy workloads (Hipster, Media).
  *
+ * Host-parallel: --jobs N fans the work across N threads as a job
+ * graph — each workload's SLO measurement precedes its three system
+ * sweeps, and every sweep fans its load points — with output
+ * byte-identical to --jobs 1 (the CI parallel-determinism gate).
+ *
  * Environment knobs: JORD_FIG9_REQUESTS (default 20000) trades run time
  * for P99 fidelity.
  */
@@ -17,6 +22,7 @@
 #include <map>
 
 #include "bench/common.hh"
+#include "par/par.hh"
 #include "stats/table.hh"
 #include "workloads/sweep.hh"
 
@@ -34,6 +40,8 @@ main(int argc, char **argv)
     cfg.requestsPerPoint = args.quick ? 2000 : 8000;
     if (const char *env = std::getenv("JORD_FIG9_REQUESTS"))
         cfg.requestsPerPoint = std::strtoull(env, nullptr, 10);
+    std::unique_ptr<par::ThreadPool> pool = args.makePool();
+    cfg.pool = pool.get();
 
     // Per-workload load ranges follow the paper's x-axes (MRPS).
     const std::map<std::string, std::pair<double, double>> ranges = {
@@ -44,6 +52,43 @@ main(int argc, char **argv)
     };
     const SystemKind systems[] = {SystemKind::JordNI, SystemKind::Jord,
                                   SystemKind::NightCore};
+    constexpr std::size_t kNumSystems = 3;
+
+    // Quick mode (the CI perf gate) runs Hotel only, on a short load
+    // series: enough signal for a 10% regression gate.
+    std::vector<workloads::Workload> all = workloads::makeAll();
+    std::vector<const workloads::Workload *> active;
+    for (const workloads::Workload &w : all)
+        if (!args.quick || w.name == "Hotel")
+            active.push_back(&w);
+
+    // Compute phase: a job graph over all workloads and systems. Each
+    // node commits to its own slot; printing happens afterwards, in
+    // the fixed serial order, so output is thread-count independent.
+    std::vector<std::vector<double>> loads(active.size());
+    bench::Slots<double> slo(active.size());
+    bench::Slots<SweepResult> sweeps(active.size() * kNumSystems);
+
+    par::JobGraph graph;
+    for (std::size_t wi = 0; wi < active.size(); ++wi) {
+        const workloads::Workload *w = active[wi];
+        auto range = ranges.at(w->name);
+        loads[wi] = workloads::loadSeries(range.first, range.second,
+                                          args.quick ? 5 : 14);
+        par::JobGraph::NodeId slo_node = graph.add(
+            [&, w, wi] { slo.set(wi, workloads::measureSloUs(*w, cfg)); });
+        for (std::size_t si = 0; si < kNumSystems; ++si) {
+            SystemKind system = systems[si];
+            par::JobGraph::NodeId node = graph.add([&, w, wi, system,
+                                                    si] {
+                sweeps.set(wi * kNumSystems + si,
+                           workloads::sweepLoad(*w, system, loads[wi],
+                                                slo.at(wi), cfg));
+            });
+            graph.precede(slo_node, node);
+        }
+    }
+    graph.run(pool.get());
 
     bench::banner("Figure 9: P99 latency vs load (per workload/system)");
 
@@ -52,15 +97,9 @@ main(int argc, char **argv)
                           "Jord/JordNI", "Jord/NightCore"});
     std::map<std::string, double> json;
 
-    for (workloads::Workload &w : workloads::makeAll()) {
-        // Quick mode (the CI perf gate) runs Hotel only, on a short
-        // load series: enough signal for a 10% regression gate.
-        if (args.quick && w.name != "Hotel")
-            continue;
-        auto [lo, hi] = ranges.at(w.name);
-        std::vector<double> loads =
-            workloads::loadSeries(lo, hi, args.quick ? 5 : 14);
-        double slo_us = workloads::measureSloUs(w, cfg);
+    for (std::size_t wi = 0; wi < active.size(); ++wi) {
+        const workloads::Workload &w = *active[wi];
+        double slo_us = slo.at(wi);
         json["fig9." + w.name + ".slo_us"] = slo_us;
 
         std::printf("--- %s (SLO = %.1f us) ---\n", w.name.c_str(),
@@ -68,9 +107,9 @@ main(int argc, char **argv)
         stats::Table series({"System", "Offered (MRPS)",
                              "Achieved (MRPS)", "P99 (us)", "SLO?"});
         std::map<SystemKind, double> under_slo;
-        for (SystemKind system : systems) {
-            SweepResult res = workloads::sweepLoad(w, system, loads,
-                                                   slo_us, cfg);
+        for (std::size_t si = 0; si < kNumSystems; ++si) {
+            SystemKind system = systems[si];
+            const SweepResult &res = sweeps.at(wi * kNumSystems + si);
             for (const auto &p : res.points) {
                 series.addRow({systemName(system),
                                stats::Table::cell(p.offeredMrps, "%.2f"),

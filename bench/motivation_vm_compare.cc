@@ -11,55 +11,91 @@
  */
 
 #include "bench/common.hh"
+#include "par/par.hh"
 #include "sim/logging.hh"
 #include "stats/table.hh"
 #include "vm/posix_vm.hh"
 
 using namespace jord;
 
+namespace {
+
+/** Mean latencies one path's job commits. */
+struct PathMeans {
+    double mmapNs = 0;
+    double mprotectNs = 0;
+    double munmapNs = 0;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
+    bench::BenchArgs args =
+        bench::BenchArgs::parse(argc, argv, "motivation_vm_compare");
     bench::banner("Motivation (§2.2): OS page-based VM vs Jord UAT");
 
     sim::MachineConfig cfg = sim::MachineConfig::isca25Default();
-    bench::Stack jord_stack(cfg);
-    noc::Mesh mesh(cfg);
-    mem::CoherenceEngine coherence(cfg, mesh);
-    vm::PosixVm posix(cfg, coherence);
 
     constexpr unsigned kIters = 300;
     constexpr std::uint64_t kBytes = 16 << 10;
 
-    // --- OS path -------------------------------------------------------
-    stats::Sampler os_mmap, os_mprotect, os_munmap;
-    bench::warmIters(kIters, 0, [&](bool) {
-        vm::VmOpResult m = posix.mmap(0, kBytes, vm::PagePerms::rw());
-        if (!m.ok)
-            sim::fatal("posix mmap failed");
-        vm::VmOpResult p = posix.mprotect(0, m.addr, kBytes,
-                                          vm::PagePerms::ro());
-        vm::VmOpResult u = posix.munmap(0, m.addr, kBytes);
-        os_mmap.record(static_cast<double>(m.latency));
-        os_mprotect.record(static_cast<double>(p.latency));
-        os_munmap.record(static_cast<double>(u.latency));
-    });
-
-    // --- Jord path ------------------------------------------------------
-    // Warm the free lists as a real worker would before sampling.
-    privlib::PrivLib &pl = *jord_stack.privlib;
-    stats::Sampler jd_mmap, jd_mprotect, jd_munmap;
-    bench::warmIters(kIters, bench::kWarmupIters, [&](bool measured) {
-        privlib::PrivResult m = pl.mmap(0, kBytes, uat::Perm::rw());
-        privlib::PrivResult p =
-            pl.mprotect(0, m.value, kBytes, uat::Perm::r());
-        privlib::PrivResult u = pl.munmap(0, m.value, kBytes);
-        if (!measured)
-            return;
-        jd_mmap.record(static_cast<double>(m.latency));
-        jd_mprotect.record(static_cast<double>(p.latency));
-        jd_munmap.record(static_cast<double>(u.latency));
-    });
+    // Two host-parallel jobs, one per path; each builds its own
+    // simulator stack and samplers, so the table is byte-identical
+    // at any --jobs value.
+    std::unique_ptr<par::ThreadPool> pool = args.makePool();
+    std::vector<PathMeans> means = par::orderedMap<PathMeans>(
+        pool.get(), 2, [&](std::size_t path) {
+            PathMeans out;
+            if (path == 0) {
+                // --- OS path -----------------------------------------
+                noc::Mesh mesh(cfg);
+                mem::CoherenceEngine coherence(cfg, mesh);
+                vm::PosixVm posix(cfg, coherence);
+                stats::Sampler os_mmap, os_mprotect, os_munmap;
+                bench::warmIters(kIters, 0, [&](bool) {
+                    vm::VmOpResult m =
+                        posix.mmap(0, kBytes, vm::PagePerms::rw());
+                    if (!m.ok)
+                        sim::fatal("posix mmap failed");
+                    vm::VmOpResult p = posix.mprotect(
+                        0, m.addr, kBytes, vm::PagePerms::ro());
+                    vm::VmOpResult u = posix.munmap(0, m.addr, kBytes);
+                    os_mmap.record(static_cast<double>(m.latency));
+                    os_mprotect.record(static_cast<double>(p.latency));
+                    os_munmap.record(static_cast<double>(u.latency));
+                });
+                out.mmapNs = bench::meanNs(os_mmap);
+                out.mprotectNs = bench::meanNs(os_mprotect);
+                out.munmapNs = bench::meanNs(os_munmap);
+                return out;
+            }
+            // --- Jord path -------------------------------------------
+            // Warm the free lists as a real worker would before
+            // sampling.
+            bench::Stack jord_stack(cfg);
+            privlib::PrivLib &pl = *jord_stack.privlib;
+            stats::Sampler jd_mmap, jd_mprotect, jd_munmap;
+            bench::warmIters(
+                kIters, bench::kWarmupIters, [&](bool measured) {
+                    privlib::PrivResult m =
+                        pl.mmap(0, kBytes, uat::Perm::rw());
+                    privlib::PrivResult p =
+                        pl.mprotect(0, m.value, kBytes, uat::Perm::r());
+                    privlib::PrivResult u =
+                        pl.munmap(0, m.value, kBytes);
+                    if (!measured)
+                        return;
+                    jd_mmap.record(static_cast<double>(m.latency));
+                    jd_mprotect.record(static_cast<double>(p.latency));
+                    jd_munmap.record(static_cast<double>(u.latency));
+                });
+            out.mmapNs = bench::meanNs(jd_mmap);
+            out.mprotectNs = bench::meanNs(jd_mprotect);
+            out.munmapNs = bench::meanNs(jd_munmap);
+            return out;
+        });
 
     stats::Table table({"Operation (16 KB)", "OS page-based (ns)",
                         "Jord UAT (ns)", "Speedup"});
@@ -69,10 +105,9 @@ main()
         double jord_ns;
     };
     const Row rows[] = {
-        {"mmap", bench::meanNs(os_mmap), bench::meanNs(jd_mmap)},
-        {"mprotect", bench::meanNs(os_mprotect),
-         bench::meanNs(jd_mprotect)},
-        {"munmap", bench::meanNs(os_munmap), bench::meanNs(jd_munmap)},
+        {"mmap", means[0].mmapNs, means[1].mmapNs},
+        {"mprotect", means[0].mprotectNs, means[1].mprotectNs},
+        {"munmap", means[0].munmapNs, means[1].munmapNs},
     };
     for (const Row &row : rows) {
         table.addRow({row.name, stats::Table::cell(row.os_ns, "%.0f"),

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Byte-compare two artifacts that must be identical regardless of
+# --jobs. On mismatch, print the first differing lines so the failure
+# is debuggable straight from the CI log.
+set -u
+
+if [ "$#" -ne 2 ]; then
+    echo "usage: $0 FILE_A FILE_B" >&2
+    exit 2
+fi
+
+a="$1"
+b="$2"
+
+if cmp -s "$a" "$b"; then
+    echo "identical: $a == $b"
+    exit 0
+fi
+
+echo "::error::determinism violation: $a and $b differ"
+echo "--- first differing lines (serial vs parallel) ---"
+diff "$a" "$b" | head -20
+exit 1

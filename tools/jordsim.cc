@@ -20,11 +20,13 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "check/check.hh"
 #include "fault/fault.hh"
+#include "par/par.hh"
 #include "prof/pmu.hh"
 #include "prof/profile_json.hh"
 #include "prof/profiler.hh"
@@ -71,6 +73,10 @@ struct Options {
     bool sweep = false;
     double sweepLo = 0, sweepHi = 0;
     unsigned sweepN = 0;
+    bool seedSweep = false;
+    std::uint64_t seedLo = 0, seedHi = 0;
+    unsigned jobs = par::defaultJobs();
+    std::string jsonOut;
     std::string traceOut;
     std::string metricsOut;
     std::string profOut;
@@ -105,6 +111,16 @@ printUsage()
         "   (default 20000)\n"
         "  --sweep LO:HI:N     sweep N loads in [LO, HI] and report\n"
         "                      the SLO knee instead of a single run\n"
+        "  --seed-sweep A..B   run once per seed in [A, B] and emit a\n"
+        "                      merged per-seed report (CSV with --csv,\n"
+        "                      flat JSON with --json)\n"
+        "\n"
+        "host parallelism:\n"
+        "  --jobs N            fan independent runs (sweep points,\n"
+        "                      seeds) across N host threads; 0 = one\n"
+        "                      per hardware thread. Output is byte-\n"
+        "                      identical to --jobs 1. (default:\n"
+        "                      $JORD_JOBS or 1)\n"
         "\n"
         "machine:\n"
         "  --cores N           total cores"
@@ -166,6 +182,8 @@ printUsage()
         "\n"
         "output:\n"
         "  --csv               machine-readable output\n"
+        "  --json FILE         write a flat JSON summary (seed-sweep\n"
+        "                      mode only)\n"
         "  --trace-out FILE    write a Chrome trace-event / Perfetto\n"
         "                      JSON trace of the run\n"
         "  --metrics-out FILE  write the metrics registry as CSV\n"
@@ -258,6 +276,11 @@ parseArgs(int argc, char **argv)
                            spec.c_str());
         } else if (flag == "--csv")
             opt.csv = true;
+        else if (flag == "--json")
+            opt.jsonOut = value();
+        else if (flag == "--jobs")
+            opt.jobs = par::resolveJobs(static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10)));
         else if (flag == "--sweep") {
             std::string spec = value();
             if (std::sscanf(spec.c_str(), "%lf:%lf:%u", &opt.sweepLo,
@@ -265,6 +288,17 @@ parseArgs(int argc, char **argv)
                 sim::fatal("--sweep expects LO:HI:N, got '%s'",
                            spec.c_str());
             opt.sweep = true;
+        } else if (flag == "--seed-sweep") {
+            std::string spec = value();
+            unsigned long long lo = 0, hi = 0;
+            if (std::sscanf(spec.c_str(), "%llu..%llu", &lo, &hi) != 2 ||
+                hi < lo)
+                sim::fatal("--seed-sweep expects A..B with A <= B, "
+                           "got '%s'",
+                           spec.c_str());
+            opt.seedLo = lo;
+            opt.seedHi = hi;
+            opt.seedSweep = true;
         } else if (flag == "--help" || flag == "-h") {
             printUsage();
             std::exit(0);
@@ -496,12 +530,13 @@ runOnce(const Options &opt)
 }
 
 int
-runSweep(const Options &opt)
+runSweep(const Options &opt, par::ThreadPool *pool)
 {
     workloads::Workload w = workloads::makeByName(opt.workload);
     workloads::SweepConfig cfg;
     cfg.worker = makeWorkerConfig(opt);
     cfg.requestsPerPoint = opt.requests;
+    cfg.pool = pool;
     double slo_us = workloads::measureSloUs(w, cfg);
     auto loads =
         workloads::loadSeries(opt.sweepLo, opt.sweepHi, opt.sweepN);
@@ -527,11 +562,76 @@ runSweep(const Options &opt)
     return 0;
 }
 
+int
+runSeedSweep(const Options &opt, par::ThreadPool *pool)
+{
+    // Seed-sweep runs are plain measurement runs: per-run observers
+    // would need per-seed output files, so reject them up front.
+    if (!opt.traceOut.empty() || !opt.metricsOut.empty() ||
+        !opt.profOut.empty() || !opt.pmuOut.empty())
+        sim::fatal("--seed-sweep does not support --trace-out, "
+                   "--metrics-out, --prof-out or --pmu-out");
+    if (opt.check.any())
+        sim::fatal("--seed-sweep does not support --check");
+
+    workloads::Workload w = workloads::makeByName(opt.workload);
+    workloads::SeedSweepConfig cfg;
+    cfg.worker = makeWorkerConfig(opt);
+    cfg.seedLo = opt.seedLo;
+    cfg.seedHi = opt.seedHi;
+    cfg.mrps = opt.mrps;
+    cfg.requests = opt.requests;
+    cfg.pool = pool;
+    std::vector<RunResult> results = workloads::runSeedSweep(w, cfg);
+
+    if (!opt.jsonOut.empty()) {
+        std::ofstream out(opt.jsonOut);
+        if (!out)
+            sim::fatal("cannot open '%s'", opt.jsonOut.c_str());
+        prof::writeFlatJson(out,
+                            workloads::seedSweepJson(cfg, results));
+        std::fprintf(stderr, "wrote %zu per-seed summaries to %s\n",
+                     results.size(), opt.jsonOut.c_str());
+    }
+    if (opt.csv) {
+        std::fputs(workloads::seedSweepCsv(opt.workload, opt.system,
+                                           cfg, results)
+                       .c_str(),
+                   stdout);
+        return 0;
+    }
+    std::printf("%s on %s @ %.2f MRPS offered, seeds %llu..%llu\n",
+                opt.workload.c_str(), opt.system.c_str(), opt.mrps,
+                static_cast<unsigned long long>(opt.seedLo),
+                static_cast<unsigned long long>(opt.seedHi));
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const RunResult &res = results[i];
+        std::printf("  seed %llu: %.3f MRPS achieved, %.2f us mean, "
+                    "%.2f us p50, %.2f us p99, %llu/%llu completed\n",
+                    static_cast<unsigned long long>(opt.seedLo + i),
+                    res.achievedMrps, res.latencyUs.mean(),
+                    res.latencyUs.p50(), res.latencyUs.p99(),
+                    static_cast<unsigned long long>(
+                        res.completedRequests),
+                    static_cast<unsigned long long>(
+                        res.completedRequests + res.failedRequests +
+                        res.timedOutRequests + res.shedRequests));
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options opt = parseArgs(argc, argv);
-    return opt.sweep ? runSweep(opt) : runOnce(opt);
+    if (opt.sweep && opt.seedSweep)
+        sim::fatal("--sweep and --seed-sweep are mutually exclusive");
+    std::unique_ptr<par::ThreadPool> pool;
+    if (opt.jobs > 1)
+        pool = std::make_unique<par::ThreadPool>(opt.jobs);
+    if (opt.seedSweep)
+        return runSeedSweep(opt, pool.get());
+    return opt.sweep ? runSweep(opt, pool.get()) : runOnce(opt);
 }
