@@ -119,11 +119,14 @@ Checker::Checker(const CheckConfig &cfg, const uat::VaEncoding &encoding)
 Checker::~Checker() = default;
 
 void
-Checker::attachMetrics(trace::MetricsRegistry &registry)
+Checker::attachMetrics(trace::MetricsRegistry &registry,
+                       const std::string &prefix)
 {
-    famCounter_[0] = &registry.counter("check.violations.access");
-    famCounter_[1] = &registry.counter("check.violations.vlb");
-    famCounter_[2] = &registry.counter("check.violations.difftable");
+    famCounter_[0] =
+        &registry.counter(prefix + "check.violations.access");
+    famCounter_[1] = &registry.counter(prefix + "check.violations.vlb");
+    famCounter_[2] =
+        &registry.counter(prefix + "check.violations.difftable");
     // Surface any violations recorded before attachment.
     for (unsigned fam = 0; fam < 3; ++fam)
         famCounter_[fam]->add(famCount_[fam]);

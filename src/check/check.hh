@@ -127,7 +127,8 @@ class Checker final : public CheckHooks
     void setTracer(trace::Tracer *tracer) { tracer_ = tracer; }
 
     /** Register check.violations.{access,vlb,difftable} counters. */
-    void attachMetrics(trace::MetricsRegistry &registry);
+    void attachMetrics(trace::MetricsRegistry &registry,
+                       const std::string &prefix = "");
 
     // --- Runtime lifecycle (called by the Worker / tests) ----------
 

@@ -1,0 +1,101 @@
+#include "cluster/lb.hh"
+
+#include "sim/logging.hh"
+
+namespace jord::cluster {
+
+const char *
+lbPolicyName(LbPolicy policy)
+{
+    switch (policy) {
+      case LbPolicy::Random: return "random";
+      case LbPolicy::Random2: return "random2";
+      case LbPolicy::Jsq: return "jsq";
+      case LbPolicy::RoundRobin: return "rr";
+      case LbPolicy::Affinity: return "affinity";
+    }
+    return "?";
+}
+
+LbPolicy
+parseLbPolicy(const std::string &name)
+{
+    if (name == "random")
+        return LbPolicy::Random;
+    if (name == "random2")
+        return LbPolicy::Random2;
+    if (name == "jsq")
+        return LbPolicy::Jsq;
+    if (name == "rr")
+        return LbPolicy::RoundRobin;
+    if (name == "affinity")
+        return LbPolicy::Affinity;
+    sim::fatal("unknown LB policy '%s' "
+               "(random|random2|jsq|rr|affinity)",
+               name.c_str());
+}
+
+std::uint32_t
+LoadBalancer::pickRandom2(const std::vector<std::uint32_t> &active,
+                          const std::vector<std::uint32_t> &outstanding,
+                          sim::Rng &rng)
+{
+    std::size_t n = active.size();
+    if (n == 1)
+        return active[0];
+    // Two *distinct* positions: draw i from n, j from the remaining
+    // n-1 and shift past i. Distinctness is what makes the d=2 bound
+    // hold; sampling with replacement would sometimes compare a
+    // server against itself.
+    std::size_t i = static_cast<std::size_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(n)));
+    std::size_t j = static_cast<std::size_t>(
+        rng.uniformInt(static_cast<std::uint64_t>(n - 1)));
+    if (j >= i)
+        ++j;
+    std::uint32_t a = active[i];
+    std::uint32_t b = active[j];
+    if (outstanding[a] != outstanding[b])
+        return outstanding[a] < outstanding[b] ? a : b;
+    return a < b ? a : b;
+}
+
+std::uint32_t
+LoadBalancer::pick(const std::vector<std::uint32_t> &active,
+                   const std::vector<std::uint32_t> &outstanding,
+                   std::uint64_t session, sim::Rng &rng)
+{
+    if (active.empty())
+        sim::panic("LoadBalancer::pick with no active servers");
+    switch (policy_) {
+      case LbPolicy::Random:
+        return active[static_cast<std::size_t>(rng.uniformInt(
+            static_cast<std::uint64_t>(active.size())))];
+      case LbPolicy::Random2:
+        return pickRandom2(active, outstanding, rng);
+      case LbPolicy::Jsq: {
+          std::uint32_t best = active[0];
+          for (std::uint32_t server : active)
+              if (outstanding[server] < outstanding[best])
+                  best = server; // strict < => lowest-index tie-break
+          return best;
+      }
+      case LbPolicy::RoundRobin:
+        return active[static_cast<std::size_t>(rrCursor_++ %
+                                               active.size())];
+      case LbPolicy::Affinity: {
+          // Locality first: a session's home server keeps its warm PD
+          // pool and caches hot. Spill with power-of-two-choices once
+          // the home queue is deep enough that locality stops paying.
+          std::uint32_t home = active[static_cast<std::size_t>(
+              session % active.size())];
+          if (affinitySpillDepth_ == 0 ||
+              outstanding[home] < affinitySpillDepth_)
+              return home;
+          return pickRandom2(active, outstanding, rng);
+      }
+    }
+    sim::panic("unreachable LB policy");
+}
+
+} // namespace jord::cluster

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Front-end load balancer: pluggable request-dispatch policies.
+ *
+ * The balancer is pure policy: given the set of active servers, their
+ * outstanding-request counts, and the arrival's session id, pick a
+ * server index. All randomness flows through the caller's Rng, and
+ * every tie breaks on the lower server index, so dispatch decisions
+ * are a deterministic function of (policy, seed, cluster history).
+ */
+
+#ifndef JORD_CLUSTER_LB_HH
+#define JORD_CLUSTER_LB_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace jord::cluster {
+
+/** Dispatch policies (jordsim --lb). */
+enum class LbPolicy {
+    Random,     ///< uniform random over active servers
+    Random2,    ///< power-of-two-choices: two distinct draws, less loaded
+    Jsq,        ///< join-shortest-queue over all active servers
+    RoundRobin, ///< cycle through active servers
+    Affinity,   ///< session-hash locality with spill on overload
+};
+
+const char *lbPolicyName(LbPolicy policy);
+
+/** Parse a `--lb` policy name; fatal on an unknown one. */
+LbPolicy parseLbPolicy(const std::string &name);
+
+/**
+ * The front-end balancer. Stateless apart from the round-robin cursor;
+ * the per-server outstanding counts are the caller's (the cluster sim
+ * increments on dispatch and decrements on completion or shed).
+ */
+class LoadBalancer
+{
+  public:
+    explicit LoadBalancer(LbPolicy policy) : policy_(policy) {}
+
+    LbPolicy policy() const { return policy_; }
+
+    /**
+     * Pick a server for one arrival.
+     *
+     * @param active Indices of currently active servers (autoscaling
+     * shrinks/grows this set), in ascending order.
+     * @param outstanding Per-server outstanding requests, indexed by
+     * server id (not by position in @p active).
+     * @param session The arrival's session id (Affinity only).
+     * @param rng Dispatch randomness (Random/Random2 and Affinity
+     * spill); unused draws are never consumed, keeping policies'
+     * draw sequences independent.
+     * @return A server id out of @p active.
+     */
+    std::uint32_t pick(const std::vector<std::uint32_t> &active,
+                       const std::vector<std::uint32_t> &outstanding,
+                       std::uint64_t session, sim::Rng &rng);
+
+    /**
+     * Outstanding count at which Affinity abandons the home server and
+     * spills via power-of-two-choices (0 disables spilling).
+     */
+    void setAffinitySpillDepth(std::uint32_t depth)
+    {
+        affinitySpillDepth_ = depth;
+    }
+
+  private:
+    std::uint32_t pickRandom2(const std::vector<std::uint32_t> &active,
+                              const std::vector<std::uint32_t> &outstanding,
+                              sim::Rng &rng);
+
+    LbPolicy policy_;
+    std::uint64_t rrCursor_ = 0;
+    std::uint32_t affinitySpillDepth_ = 16;
+};
+
+} // namespace jord::cluster
+
+#endif // JORD_CLUSTER_LB_HH

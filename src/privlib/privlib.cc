@@ -138,7 +138,8 @@ PrivLib::account(PrivOp op, Cycles latency)
 }
 
 void
-PrivLib::attachMetrics(trace::MetricsRegistry &registry)
+PrivLib::attachMetrics(trace::MetricsRegistry &registry,
+                       const std::string &prefix)
 {
     static constexpr const char *kOpNames[] = {
         "mmap", "munmap", "mprotect", "pmove", "pcopy",
@@ -148,7 +149,7 @@ PrivLib::attachMetrics(trace::MetricsRegistry &registry)
                   static_cast<unsigned>(PrivOp::NumOps));
     for (unsigned op = 0; op < static_cast<unsigned>(PrivOp::NumOps);
          ++op) {
-        std::string base = std::string("privlib.") + kOpNames[op];
+        std::string base = prefix + "privlib." + kOpNames[op];
         opCalls_[op] = &registry.counter(base + ".calls");
         opCycles_[op] = &registry.counter(base + ".cycles");
     }

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "mem/coherence.hh"
@@ -197,7 +198,8 @@ class PrivLib
      * totals (`privlib.<op>.cycles`) into @p registry (must outlive
      * this object); account() feeds them alongside the OpStats.
      */
-    void attachMetrics(trace::MetricsRegistry &registry);
+    void attachMetrics(trace::MetricsRegistry &registry,
+                       const std::string &prefix = "");
 
     /** Attach the simulated PMU (null to detach); shootdown-fence
      * waits are attributed at zero simulated latency. */

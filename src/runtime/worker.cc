@@ -181,36 +181,42 @@ WorkerServer::setTracer(trace::Tracer *tracer)
 }
 
 void
-WorkerServer::attachMetrics(trace::MetricsRegistry &registry)
+WorkerServer::attachMetrics(trace::MetricsRegistry &registry,
+                            const std::string &prefix)
 {
     metrics_.externalRequests =
-        &registry.counter("runtime.requests.external");
+        &registry.counter(prefix + "runtime.requests.external");
     metrics_.completedRequests =
-        &registry.counter("runtime.requests.completed");
-    metrics_.invocations = &registry.counter("runtime.invocations");
-    metrics_.dispatches = &registry.counter("runtime.dispatch.count");
+        &registry.counter(prefix + "runtime.requests.completed");
+    metrics_.invocations =
+        &registry.counter(prefix + "runtime.invocations");
+    metrics_.dispatches =
+        &registry.counter(prefix + "runtime.dispatch.count");
     metrics_.dispatchScanNs =
-        &registry.distribution("runtime.dispatch.scan_ns");
-    metrics_.serviceNs = &registry.distribution("runtime.service_ns");
-    metrics_.busyExecutors = &registry.gauge("runtime.executors.busy");
+        &registry.distribution(prefix + "runtime.dispatch.scan_ns");
+    metrics_.serviceNs =
+        &registry.distribution(prefix + "runtime.service_ns");
+    metrics_.busyExecutors =
+        &registry.gauge(prefix + "runtime.executors.busy");
     metrics_.liveInvocations =
-        &registry.gauge("runtime.invocations.live");
+        &registry.gauge(prefix + "runtime.invocations.live");
     metrics_.failedRequests =
-        &registry.counter("runtime.requests.failed");
+        &registry.counter(prefix + "runtime.requests.failed");
     metrics_.timedOutRequests =
-        &registry.counter("runtime.requests.timed_out");
-    metrics_.shedRequests = &registry.counter("runtime.requests.shed");
-    metrics_.retries = &registry.counter("runtime.retries");
+        &registry.counter(prefix + "runtime.requests.timed_out");
+    metrics_.shedRequests =
+        &registry.counter(prefix + "runtime.requests.shed");
+    metrics_.retries = &registry.counter(prefix + "runtime.retries");
     metrics_.faultsInjected =
-        &registry.counter("runtime.faults.injected");
+        &registry.counter(prefix + "runtime.faults.injected");
     metrics_.abortedInvocations =
-        &registry.counter("runtime.invocations.aborted");
+        &registry.counter(prefix + "runtime.invocations.aborted");
     metrics_.retryDelayNs =
-        &registry.distribution("runtime.retry.delay_ns");
-    privlib_->attachMetrics(registry);
-    uat_->attachMetrics(registry);
+        &registry.distribution(prefix + "runtime.retry.delay_ns");
+    privlib_->attachMetrics(registry, prefix);
+    uat_->attachMetrics(registry, prefix);
     if (checker_)
-        checker_->attachMetrics(registry);
+        checker_->attachMetrics(registry, prefix);
 }
 
 void
@@ -322,9 +328,8 @@ WorkerServer::scheduleNextArrival()
     if (externalLeft_ == 0)
         return;
     --externalLeft_;
-    Cycles gap = static_cast<Cycles>(
-        rng_.exponential(arrivalMeanCycles_));
-    events_.scheduleAfter(gap, [this] { onExternalArrival(); });
+    events_.scheduleAfter(arrivals_.nextGapCycles(rng_),
+                          [this] { onExternalArrival(); });
 }
 
 void
@@ -1989,8 +1994,8 @@ WorkerServer::run(double mrps, std::uint64_t num_requests,
         markDirty(e);
     }
 
-    // requests/s = mrps * 1e6; cycles/s = freq * 1e9.
-    arrivalMeanCycles_ = cfg_.machine.freqGhz * 1000.0 / mrps;
+    arrivals_ =
+        sim::PoissonArrivals::fromMrps(mrps, cfg_.machine.freqGhz);
     externalLeft_ = num_requests;
     generated_ = 0;
     warmupRequests_ = static_cast<std::uint64_t>(

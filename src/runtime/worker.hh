@@ -29,6 +29,7 @@
 #include "prof/profiler.hh"
 #include "runtime/registry.hh"
 #include "runtime/request.hh"
+#include "sim/arrivals.hh"
 #include "sim/event_queue.hh"
 #include "sim/rng.hh"
 #include "stats/sampler.hh"
@@ -216,8 +217,14 @@ class WorkerServer : public prof::SampleSource
      * Register this worker's counters/gauges/distributions (and those
      * of its PrivLib and UAT) into @p registry. The registry must
      * outlive the worker.
+     *
+     * @param prefix Prepended to every metric name. Multi-server runs
+     * (jordsim --cluster N) pass "serverK." so two workers sharing a
+     * registry get distinct metrics; with an empty prefix the
+     * registry's find-or-create semantics would silently sum them.
      */
-    void attachMetrics(trace::MetricsRegistry &registry);
+    void attachMetrics(trace::MetricsRegistry &registry,
+                       const std::string &prefix = "");
 
     /**
      * Attach (or detach, with nullptr) the simulated PMU; propagated
@@ -294,7 +301,9 @@ class WorkerServer : public prof::SampleSource
 
     RequestId nextRequestId_ = 1;
     std::uint64_t externalLeft_ = 0;
-    double arrivalMeanCycles_ = 0;
+    /** Open-loop Poisson gap generator (sim/arrivals.hh); rebuilt by
+     * run() from the offered load. */
+    sim::PoissonArrivals arrivals_{0};
     EntryMix mix_;
     double mixTotal_ = 0;
     unsigned rrOrch_ = 0;

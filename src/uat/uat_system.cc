@@ -38,16 +38,18 @@ UatSystem::~UatSystem()
 }
 
 void
-UatSystem::attachMetrics(trace::MetricsRegistry &registry)
+UatSystem::attachMetrics(trace::MetricsRegistry &registry,
+                         const std::string &prefix)
 {
-    vlbHits_ = &registry.counter("uat.vlb.hits");
-    vlbMisses_ = &registry.counter("uat.vlb.misses");
-    vtwFaults_ = &registry.counter("uat.vtw.faults");
-    shootdowns_ = &registry.counter("uat.vtd.shootdowns");
+    vlbHits_ = &registry.counter(prefix + "uat.vlb.hits");
+    vlbMisses_ = &registry.counter(prefix + "uat.vlb.misses");
+    vtwFaults_ = &registry.counter(prefix + "uat.vtw.faults");
+    shootdowns_ = &registry.counter(prefix + "uat.vtd.shootdowns");
     shootdownsPessimistic_ =
-        &registry.counter("uat.vtd.shootdowns_pessimistic");
-    vtwWalkNs_ = &registry.distribution("uat.vtw.walk_ns");
-    shootdownNs_ = &registry.distribution("uat.vtd.shootdown_ns");
+        &registry.counter(prefix + "uat.vtd.shootdowns_pessimistic");
+    vtwWalkNs_ = &registry.distribution(prefix + "uat.vtw.walk_ns");
+    shootdownNs_ =
+        &registry.distribution(prefix + "uat.vtd.shootdown_ns");
 }
 
 UatSystem::WalkOutcome

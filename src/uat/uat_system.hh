@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
@@ -147,7 +148,8 @@ class UatSystem : public mem::TranslationObserver
 
     /** Register VLB/VTW/VTD counters into @p registry (must outlive
      * this object). */
-    void attachMetrics(trace::MetricsRegistry &registry);
+    void attachMetrics(trace::MetricsRegistry &registry,
+                       const std::string &prefix = "");
 
     /** Attach (or detach, with nullptr) a JordSan checker; accesses,
      * VLB fills/hits, and shootdown fan-outs are reported while

@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include "bench/common.hh"
+#include "cluster/cluster.hh"
 #include "par/par.hh"
 #include "workloads/sweep.hh"
 #include "workloads/workloads.hh"
@@ -292,4 +293,40 @@ TEST(Par, SweepLoadByteIdenticalAcrossJobCounts)
                   parallel.points[i].meetsSlo);
     }
     EXPECT_EQ(serial.throughputUnderSlo, parallel.throughputUnderSlo);
+}
+
+TEST(Par, ClusterByteIdenticalAcrossJobCounts)
+{
+    // The fleet pipeline's only parallel stage is calibration (one
+    // job per probe load); the fleet DES itself is serial. Both the
+    // calibrated model and the cluster result must be bit-identical
+    // whether calibration ran serially or on a pool.
+    workloads::Workload w = workloads::makeHotel();
+    auto runAt = [&](unsigned threads) {
+        std::unique_ptr<par::ThreadPool> pool;
+        if (threads)
+            pool = std::make_unique<par::ThreadPool>(threads);
+        cluster::ClusterConfig cfg;
+        cfg.calibration.requests = 2000;
+        cfg.numServers = 4;
+        cfg.traffic.mrps = 2.0;
+        cfg.traffic.durationUs = 5000.0;
+        return cluster::runCluster(w, cfg, pool.get());
+    };
+    cluster::ClusterResult serial = runAt(0);
+    cluster::ClusterResult parallel = runAt(4);
+    EXPECT_EQ(serial.generated, parallel.generated);
+    EXPECT_EQ(serial.completed, parallel.completed);
+    EXPECT_EQ(serial.shed, parallel.shed);
+    EXPECT_EQ(serial.coldStarts, parallel.coldStarts);
+    EXPECT_EQ(serial.p99Us, parallel.p99Us);
+    EXPECT_EQ(serial.meanUs, parallel.meanUs);
+    EXPECT_EQ(serial.goodputMrps, parallel.goodputMrps);
+    EXPECT_EQ(serial.costServerSeconds, parallel.costServerSeconds);
+    ASSERT_EQ(serial.servers.size(), parallel.servers.size());
+    for (std::size_t s = 0; s < serial.servers.size(); ++s) {
+        EXPECT_EQ(serial.servers[s].completed,
+                  parallel.servers[s].completed);
+        EXPECT_EQ(serial.servers[s].p99Us, parallel.servers[s].p99Us);
+    }
 }

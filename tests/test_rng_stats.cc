@@ -267,6 +267,68 @@ TEST(Histogram, MergeAddsCounts)
     EXPECT_EQ(a.max(), 30u);
 }
 
+TEST(Histogram, MergeFromEmptyIsIdentity)
+{
+    Histogram a, empty;
+    a.record(10);
+    a.record(90);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 10u);
+    EXPECT_EQ(a.max(), 90u);
+}
+
+TEST(Histogram, MergeIntoEmptyAdoptsEverything)
+{
+    Histogram a, b;
+    b.record(10);
+    b.record(90);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_EQ(a.min(), 10u);
+    EXPECT_EQ(a.max(), 90u);
+    // The boundary percentiles must pin to the adopted min/max, not
+    // to a bucket bound of the previously-empty histogram.
+    EXPECT_EQ(a.percentile(0), 10u);
+    EXPECT_EQ(a.percentile(100), 90u);
+}
+
+TEST(Histogram, MergeOfEmptiesStaysEmpty)
+{
+    Histogram a, b;
+    a.merge(b);
+    EXPECT_TRUE(a.empty());
+    EXPECT_EQ(a.percentile(50), 0u);
+}
+
+TEST(Histogram, MergePinsPercentilesToUnionMinMax)
+{
+    // Disjoint ranges: the merged extreme percentiles must come from
+    // the union, clamped to exact min/max even though interior
+    // percentiles are bucket-approximate.
+    Histogram lo, hi;
+    for (std::uint64_t v = 1000; v < 1100; ++v)
+        lo.record(v);
+    for (std::uint64_t v = 9000; v < 9100; ++v)
+        hi.record(v);
+    lo.merge(hi);
+    EXPECT_EQ(lo.count(), 200u);
+    EXPECT_EQ(lo.percentile(0), 1000u);
+    EXPECT_EQ(lo.percentile(100), 9099u);
+    // Interior percentiles are bucket-quantized (values near 9000
+    // share a bucket whose reported bound is 8704), so bound them to
+    // the correct cluster rather than the exact value.
+    EXPECT_GE(lo.percentile(99), 8000u);
+    EXPECT_LE(lo.percentile(40), 1100u);
+}
+
+TEST(Histogram, MergeRejectsDifferentGeometry)
+{
+    Histogram a(1ull << 40, 32), b(1ull << 40, 64);
+    b.record(7);
+    EXPECT_DEATH(a.merge(b), "different geometry");
+}
+
 TEST(Histogram, WeightedRecord)
 {
     Histogram h;

@@ -236,3 +236,39 @@ TEST(JordprofDiff, RejectsEmptyAndMalformedInputs)
 }
 
 } // namespace
+
+// --- jordsim fleet mode -----------------------------------------------------
+
+TEST(JordsimCluster, MetricsOutIsPerServerNamespacedAndDeterministic)
+{
+    std::string a = tmpPath("cluster_a.csv"), b = tmpPath("cluster_b.csv");
+    std::string run = kJordsim +
+                      " --cluster 2 --lb jsq --traffic diurnal"
+                      " --mrps 1.5 --duration-ms 4 --requests 2000"
+                      " --csv --metrics-out ";
+    ASSERT_EQ(runCmd(run + shellQuote(a)), 0);
+    ASSERT_EQ(runCmd(run + shellQuote(b)), 0);
+    std::string csv = slurp(a);
+    EXPECT_NE(csv.find("cluster.server0.completed"), std::string::npos);
+    EXPECT_NE(csv.find("cluster.server1.completed"), std::string::npos);
+    EXPECT_NE(csv.find("cluster.goodput_mrps"), std::string::npos);
+    EXPECT_EQ(csv, slurp(b));
+    // Fleet mode owns the run: trace capture is a per-worker feature.
+    EXPECT_NE(runCmd(kJordsim + " --cluster 2 --trace-out " +
+                     shellQuote(tmpPath("cluster.trace"))),
+              0);
+}
+
+TEST(JordsimCluster, HelpDocumentsFleetFlags)
+{
+    std::string out = tmpPath("cluster_help.txt");
+    ASSERT_EQ(std::system((kJordsim + " --help > " + shellQuote(out) +
+                           " 2>&1")
+                              .c_str()),
+              0);
+    std::string help = slurp(out);
+    EXPECT_NE(help.find("--cluster"), std::string::npos);
+    EXPECT_NE(help.find("--lb"), std::string::npos);
+    EXPECT_NE(help.find("--traffic"), std::string::npos);
+    EXPECT_NE(help.find("--autoscale"), std::string::npos);
+}

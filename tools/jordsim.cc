@@ -25,6 +25,7 @@
 #include <string>
 
 #include "check/check.hh"
+#include "cluster/cluster.hh"
 #include "fault/fault.hh"
 #include "par/par.hh"
 #include "prof/pmu.hh"
@@ -75,6 +76,13 @@ struct Options {
     unsigned sweepN = 0;
     bool seedSweep = false;
     std::uint64_t seedLo = 0, seedHi = 0;
+    unsigned cluster = 0;
+    std::string lb = "random2";
+    std::string traffic = "constant";
+    double durationMs = 20.0;
+    double sloUs = 0;
+    bool autoscale = false;
+    unsigned autoscaleLo = 0, autoscaleHi = 0;
     unsigned jobs = par::defaultJobs();
     std::string jsonOut;
     std::string traceOut;
@@ -114,6 +122,30 @@ printUsage()
         "  --seed-sweep A..B   run once per seed in [A, B] and emit a\n"
         "                      merged per-seed report (CSV with --csv,\n"
         "                      flat JSON with --json)\n"
+        "\n"
+        "fleet simulation (src/cluster):\n"
+        "  --cluster N         simulate N worker servers behind a\n"
+        "                      front-end LB instead of a single run.\n"
+        "                      Each server is calibrated by running\n"
+        "                      the real simulator (--requests sets the\n"
+        "                      calibration length); --mrps is the\n"
+        "                      fleet-wide offered load. In this mode\n"
+        "                      --shed-cap is the per-server\n"
+        "                      outstanding cap (admission control)\n"
+        "                      and --metrics-out writes per-server\n"
+        "                      cluster.server<k>.* metrics\n"
+        "  --lb POLICY         random | random2 | jsq | rr | affinity\n"
+        "                      (default random2)\n"
+        "  --traffic SHAPE     constant | diurnal | flash | mix, with\n"
+        "                      optional :key=value,... overrides (amp,\n"
+        "                      period_ms, factor, start, end), e.g.\n"
+        "                      flash:factor=4,start=0.4,end=0.6\n"
+        "  --duration-ms X     simulated traffic duration (default 20)\n"
+        "  --slo-us X          fleet SLO; 0 derives 10x the calibrated\n"
+        "                      low-load mean latency (default 0)\n"
+        "  --autoscale A..B    enable the autoscaling controller with\n"
+        "                      A..B active servers (initial count is\n"
+        "                      --cluster N clamped into [A, B])\n"
         "\n"
         "host parallelism:\n"
         "  --jobs N            fan independent runs (sweep points,\n"
@@ -288,6 +320,28 @@ parseArgs(int argc, char **argv)
                 sim::fatal("--sweep expects LO:HI:N, got '%s'",
                            spec.c_str());
             opt.sweep = true;
+        } else if (flag == "--cluster")
+            opt.cluster = static_cast<unsigned>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (flag == "--lb")
+            opt.lb = value();
+        else if (flag == "--traffic")
+            opt.traffic = value();
+        else if (flag == "--duration-ms")
+            opt.durationMs = std::strtod(value().c_str(), nullptr);
+        else if (flag == "--slo-us")
+            opt.sloUs = std::strtod(value().c_str(), nullptr);
+        else if (flag == "--autoscale") {
+            std::string spec = value();
+            unsigned long lo = 0, hi = 0;
+            if (std::sscanf(spec.c_str(), "%lu..%lu", &lo, &hi) != 2 ||
+                lo == 0 || hi < lo)
+                sim::fatal("--autoscale expects A..B with 1 <= A <= B, "
+                           "got '%s'",
+                           spec.c_str());
+            opt.autoscale = true;
+            opt.autoscaleLo = static_cast<unsigned>(lo);
+            opt.autoscaleHi = static_cast<unsigned>(hi);
         } else if (flag == "--seed-sweep") {
             std::string spec = value();
             unsigned long long lo = 0, hi = 0;
@@ -530,6 +584,124 @@ runOnce(const Options &opt)
 }
 
 int
+runCluster(const Options &opt, par::ThreadPool *pool)
+{
+    if (!opt.traceOut.empty() || !opt.profOut.empty() ||
+        !opt.pmuOut.empty())
+        sim::fatal("--cluster does not support --trace-out, "
+                   "--prof-out or --pmu-out");
+    if (opt.check.any())
+        sim::fatal("--cluster does not support --check");
+
+    workloads::Workload w = workloads::makeByName(opt.workload);
+    cluster::ClusterConfig cfg;
+    cfg.worker = makeWorkerConfig(opt);
+    // --shed-cap is the *fleet-level* admission cap here; the
+    // calibration runs measure the server itself unshedded.
+    cfg.worker.shedCap = 0;
+    cfg.serverQueueCap = static_cast<std::uint32_t>(opt.shedCap);
+    cfg.calibration.requests = opt.requests;
+    cfg.numServers = opt.cluster;
+    cfg.lb = cluster::parseLbPolicy(opt.lb);
+    cfg.traffic = cluster::TrafficConfig::parse(opt.traffic);
+    cfg.traffic.mrps = opt.mrps;
+    cfg.traffic.durationUs = opt.durationMs * 1000.0;
+    cfg.sloUs = opt.sloUs;
+    cfg.seed = opt.seed;
+    if (opt.autoscale) {
+        cfg.autoscale.enabled = true;
+        cfg.autoscale.minServers = opt.autoscaleLo;
+        cfg.autoscale.maxServers = opt.autoscaleHi;
+    }
+
+    cluster::ServerModel model = cluster::calibrateServer(
+        w, cfg.worker, cfg.calibration, pool);
+    cluster::ClusterSim sim(cfg, model);
+    cluster::ClusterResult res = sim.run();
+
+    if (!opt.metricsOut.empty()) {
+        trace::MetricsRegistry registry;
+        cluster::attachClusterMetrics(res, registry);
+        std::ofstream out(opt.metricsOut);
+        if (!out)
+            sim::fatal("cannot open '%s'", opt.metricsOut.c_str());
+        registry.writeCsv(out);
+        std::fprintf(stderr, "wrote %zu metrics to %s\n",
+                     registry.size(), opt.metricsOut.c_str());
+    }
+    if (!opt.jsonOut.empty()) {
+        std::map<std::string, double> json;
+        json["cluster.offered_mrps"] = res.offeredMrps;
+        json["cluster.achieved_mrps"] = res.achievedMrps;
+        json["cluster.goodput_mrps"] = res.goodputMrps;
+        json["cluster.p99_us"] = res.p99Us;
+        json["cluster.cost_server_s"] = res.costServerSeconds;
+        json["cluster.shed"] = static_cast<double>(res.shed);
+        std::ofstream out(opt.jsonOut);
+        if (!out)
+            sim::fatal("cannot open '%s'", opt.jsonOut.c_str());
+        prof::writeFlatJson(out, json);
+    }
+
+    if (opt.csv) {
+        std::printf("workload,system,servers,lb,traffic,offered_mrps,"
+                    "achieved_mrps,goodput_mrps,mean_us,p50_us,p99_us,"
+                    "slo_us,cost_server_s,completed,shed,cold_starts,"
+                    "final_servers\n");
+        std::printf(
+            "%s,%s,%u,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,"
+            "%.6f,%llu,%llu,%llu,%u\n",
+            opt.workload.c_str(), opt.system.c_str(), opt.cluster,
+            opt.lb.c_str(), opt.traffic.c_str(), res.offeredMrps,
+            res.achievedMrps, res.goodputMrps, res.meanUs, res.p50Us,
+            res.p99Us, res.sloUs, res.costServerSeconds,
+            static_cast<unsigned long long>(res.completed),
+            static_cast<unsigned long long>(res.shed),
+            static_cast<unsigned long long>(res.coldStarts),
+            res.finalActiveServers);
+        return 0;
+    }
+
+    std::printf("%s on %s, fleet of %u (lb=%s, traffic=%s) @ %.2f "
+                "MRPS offered\n",
+                opt.workload.c_str(), opt.system.c_str(), opt.cluster,
+                opt.lb.c_str(), opt.traffic.c_str(), opt.mrps);
+    std::printf("  server       %.3f MRPS capacity, %.1f us mean "
+                "latency, concurrency %u\n",
+                model.capacityMrps, model.meanLatencyUs,
+                model.concurrency);
+    std::printf("  throughput   %.2f MRPS achieved, %.2f MRPS goodput "
+                "(SLO %.1f us)\n",
+                res.achievedMrps, res.goodputMrps, res.sloUs);
+    std::printf("  latency      %.2f us mean, %.2f us p50, "
+                "%.2f us p99\n",
+                res.meanUs, res.p50Us, res.p99Us);
+    std::printf("  outcomes     %llu completed, %llu shed, "
+                "%llu cold starts\n",
+                static_cast<unsigned long long>(res.completed),
+                static_cast<unsigned long long>(res.shed),
+                static_cast<unsigned long long>(res.coldStarts));
+    std::printf("  cost         %.6f server-seconds (%u servers "
+                "final)\n",
+                res.costServerSeconds, res.finalActiveServers);
+    for (const cluster::TenantStats &tenant : res.tenants)
+        std::printf("  tenant       %-12s %llu completed, %llu shed, "
+                    "p99 %.2f us, SLO %.1f us (%.1f%% attained)\n",
+                    tenant.name.c_str(),
+                    static_cast<unsigned long long>(tenant.completed),
+                    static_cast<unsigned long long>(tenant.shed),
+                    tenant.p99Us, tenant.sloUs,
+                    100.0 * tenant.sloAttainment);
+    if (opt.autoscale) {
+        std::printf("  autoscale   ");
+        for (const cluster::ScaleEvent &event : res.scaleEvents)
+            std::printf(" %u@%.0fus", event.activeServers, event.atUs);
+        std::printf("\n");
+    }
+    return 0;
+}
+
+int
 runSweep(const Options &opt, par::ThreadPool *pool)
 {
     workloads::Workload w = workloads::makeByName(opt.workload);
@@ -628,9 +800,14 @@ main(int argc, char **argv)
     Options opt = parseArgs(argc, argv);
     if (opt.sweep && opt.seedSweep)
         sim::fatal("--sweep and --seed-sweep are mutually exclusive");
+    if (opt.cluster > 0 && (opt.sweep || opt.seedSweep))
+        sim::fatal("--cluster is mutually exclusive with --sweep and "
+                   "--seed-sweep");
     std::unique_ptr<par::ThreadPool> pool;
     if (opt.jobs > 1)
         pool = std::make_unique<par::ThreadPool>(opt.jobs);
+    if (opt.cluster > 0)
+        return runCluster(opt, pool.get());
     if (opt.seedSweep)
         return runSeedSweep(opt, pool.get());
     return opt.sweep ? runSweep(opt, pool.get()) : runOnce(opt);
