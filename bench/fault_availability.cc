@@ -15,7 +15,9 @@
  *      gateway/engine pipe message rather than an in-PD crash.
  *
  * Flags: --quick shrinks the sweep for CI smoke runs; --jobs N runs
- * the sweep points host-parallel with byte-identical output.
+ * the sweep points host-parallel with byte-identical output; --json
+ * PATH writes the machine-comparable summary (goodput, good fraction,
+ * good P99 per sweep point) gated by CI via jordprof diff.
  * Environment knobs: JORD_FAULT_REQUESTS overrides requests per point.
  */
 
@@ -59,6 +61,15 @@ runPoint(const workloads::Workload &w, SystemKind system,
     return worker.run(pc.mrps, pc.requests, w.mix, 0.2);
 }
 
+/** Stable metric-key fragment for an injection rate: "0.010". */
+std::string
+rateKey(double rate)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", rate);
+    return buf;
+}
+
 void
 addRow(stats::Table &table, double rate, const RunResult &res)
 {
@@ -77,6 +88,21 @@ addRow(stats::Table &table, double rate, const RunResult &res)
                   std::to_string(res.shedRequests),
                   std::to_string(res.retries),
                   std::to_string(res.faultsInjected)});
+}
+
+/** Record one sweep point's gate-worthy metrics under @p prefix. */
+void
+addJson(std::map<std::string, double> &json, const std::string &prefix,
+        const RunResult &res)
+{
+    std::uint64_t measured = res.completedRequests + res.failedRequests +
+                             res.timedOutRequests + res.shedRequests;
+    double good_frac =
+        measured ? static_cast<double>(res.completedRequests) / measured
+                 : 0;
+    json[prefix + ".goodput_mrps"] = res.achievedMrps;
+    json[prefix + ".good_frac"] = good_frac;
+    json[prefix + ".good_p99_us"] = res.latencyUs.p99();
 }
 
 } // namespace
@@ -124,11 +150,17 @@ main(int argc, char **argv)
         "Done",    "Failed",         "T/O",    "Shed",
         "Retries", "Injected"};
 
+    std::map<std::string, double> json;
+
     bench::banner("Availability: Jord (Hotel), injected crash rate");
     std::printf("timeout=300us, retries=2, backoff=20us, shed cap=512\n");
     stats::Table jord_table(cols);
-    for (std::size_t i = 0; i < crash_rates.size(); ++i)
+    for (std::size_t i = 0; i < crash_rates.size(); ++i) {
         addRow(jord_table, crash_rates[i], results[i]);
+        addJson(json,
+                "fault_availability.jord.crash" + rateKey(crash_rates[i]),
+                results[i]);
+    }
     std::printf("%s\n", jord_table.render().c_str());
     std::printf(
         "Expected shape: goodput degrades gracefully (retries absorb\n"
@@ -138,13 +170,20 @@ main(int argc, char **argv)
 
     bench::banner("Availability: NightCore (Hotel), pipe-drop rate");
     stats::Table ntc_table(cols);
-    for (std::size_t i = 0; i < drop_rates.size(); ++i)
-        addRow(ntc_table, drop_rates[i],
-               results[crash_rates.size() + i]);
+    for (std::size_t i = 0; i < drop_rates.size(); ++i) {
+        const RunResult &res = results[crash_rates.size() + i];
+        addRow(ntc_table, drop_rates[i], res);
+        addJson(json,
+                "fault_availability.nightcore.drop" +
+                    rateKey(drop_rates[i]),
+                res);
+    }
     std::printf("%s\n", ntc_table.render().c_str());
     std::printf(
         "NightCore drops are detected at the gateway (send + recv\n"
         "latency is still paid), so each drop costs a full pipe round\n"
         "trip before the retry path engages.\n");
+
+    bench::writeBenchJson(args.jsonPath, json);
     return 0;
 }

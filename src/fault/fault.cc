@@ -63,6 +63,80 @@ applyKey(FaultRates &r, const std::string &key, const std::string &val)
                    key.c_str());
 }
 
+/** Strictly-parsed double for the cluster clause's non-probability
+ * keys (durations, multipliers, ids). */
+double
+parseNum(const std::string &key, const std::string &val)
+{
+    char *end = nullptr;
+    double v = std::strtod(val.c_str(), &end);
+    if (end == val.c_str() || *end != '\0')
+        sim::fatal("fault plan: bad value '%s' for key 'cluster:%s'",
+                   val.c_str(), key.c_str());
+    return v;
+}
+
+double
+parseClusterProb(const std::string &key, const std::string &val)
+{
+    double v = parseNum(key, val);
+    if (v < 0.0 || v > 1.0)
+        sim::fatal("fault plan: 'cluster:%s=%s' out of [0,1]",
+                   key.c_str(), val.c_str());
+    return v;
+}
+
+void
+applyClusterKey(ClusterFaultRates &r, const std::string &key,
+                const std::string &val)
+{
+    if (key == "crash")
+        r.serverCrash = parseClusterProb(key, val);
+    else if (key == "restart_ms") {
+        r.restartMs = parseNum(key, val);
+        if (r.restartMs < 0)
+            sim::fatal("fault plan: cluster:restart_ms must be >= 0 "
+                       "(got %s)", val.c_str());
+    } else if (key == "recover_us") {
+        r.recoverUsPerSlot = parseNum(key, val);
+        if (r.recoverUsPerSlot < 0)
+            sim::fatal("fault plan: cluster:recover_us must be >= 0 "
+                       "(got %s)", val.c_str());
+    } else if (key == "gray")
+        r.gray = parseClusterProb(key, val);
+    else if (key == "grayx") {
+        r.grayMult = parseNum(key, val);
+        if (r.grayMult < 1.0)
+            sim::fatal("fault plan: cluster:grayx must be >= 1 "
+                       "(got %s)", val.c_str());
+    } else if (key == "window_ms") {
+        r.windowMs = parseNum(key, val);
+        if (r.windowMs <= 0)
+            sim::fatal("fault plan: cluster:window_ms must be > 0 "
+                       "(got %s)", val.c_str());
+    } else if (key == "drop")
+        r.linkDrop = parseClusterProb(key, val);
+    else if (key == "delay")
+        r.linkDelay = parseClusterProb(key, val);
+    else if (key == "delay_us") {
+        r.linkDelayUs = parseNum(key, val);
+        if (r.linkDelayUs < 0)
+            sim::fatal("fault plan: cluster:delay_us must be >= 0 "
+                       "(got %s)", val.c_str());
+    } else if (key == "gray_server")
+        r.grayServer = static_cast<int>(parseNum(key, val));
+    else if (key == "crash_at_ms")
+        r.crashAtMs = parseNum(key, val);
+    else if (key == "crash_frac")
+        r.crashFrac = parseClusterProb(key, val);
+    else
+        sim::fatal("fault plan: unknown cluster key '%s' (expected "
+                   "crash/restart_ms/recover_us/gray/grayx/window_ms/"
+                   "drop/delay/delay_us/gray_server/crash_at_ms/"
+                   "crash_frac)",
+                   key.c_str());
+}
+
 void
 describeRates(std::ostringstream &os, const FaultRates &r)
 {
@@ -107,6 +181,7 @@ FaultPlan::parse(const std::string &spec)
     std::stringstream clauses(spec);
     std::string clause;
     bool first = true;
+    bool seen_cluster = false;
     while (std::getline(clauses, clause, ';')) {
         if (clause.empty())
             continue;
@@ -120,6 +195,13 @@ FaultPlan::parse(const std::string &spec)
                 sim::fatal("fault plan: empty function name in '%s'",
                            clause.c_str());
         }
+        // The reserved `cluster` scope holds fleet-level events; no
+        // deployed function can shadow it.
+        bool is_cluster = scope == "cluster";
+        if (is_cluster && seen_cluster)
+            sim::fatal("fault plan: duplicate cluster clause ('%s')",
+                       clause.c_str());
+        seen_cluster |= is_cluster;
         FaultRates rates = scope.empty() ? plan.defaults : FaultRates{};
         std::stringstream pairs(body);
         std::string pair;
@@ -139,14 +221,24 @@ FaultPlan::parse(const std::string &spec)
                 plan.seed = std::strtoull(val.c_str(), nullptr, 10);
                 continue;
             }
-            applyKey(rates, key, val);
+            if (is_cluster)
+                applyClusterKey(plan.cluster, key, val);
+            else
+                applyKey(rates, key, val);
         }
-        if (scope.empty()) {
+        if (is_cluster) {
+            // nothing else to commit: applyClusterKey wrote in place
+        } else if (scope.empty()) {
             if (!first && colon == std::string::npos)
                 sim::fatal("fault plan: only the first clause may be "
                            "unscoped ('%s')", clause.c_str());
             plan.defaults = rates;
         } else {
+            for (const auto &[name, existing] : plan.byFunction)
+                if (name == scope)
+                    sim::fatal("fault plan: duplicate clause for "
+                               "function '%s' (merge the overrides "
+                               "into one clause)", scope.c_str());
             plan.byFunction.emplace_back(scope, rates);
         }
         first = false;
@@ -162,6 +254,36 @@ FaultPlan::describe() const
     for (const auto &[name, rates] : byFunction) {
         os << ";" << name << ":";
         describeRates(os, rates);
+    }
+    if (cluster.any()) {
+        os << ";cluster:";
+        bool first = true;
+        auto emit = [&](const char *k, double v) {
+            if (!first)
+                os << ",";
+            first = false;
+            os << k << "=" << v;
+        };
+        if (cluster.serverCrash > 0)
+            emit("crash", cluster.serverCrash);
+        if (cluster.gray > 0) {
+            emit("gray", cluster.gray);
+            emit("grayx", cluster.grayMult);
+        }
+        if (cluster.grayServer >= 0) {
+            emit("gray_server", cluster.grayServer);
+            emit("grayx", cluster.grayMult);
+        }
+        if (cluster.linkDrop > 0)
+            emit("drop", cluster.linkDrop);
+        if (cluster.linkDelay > 0) {
+            emit("delay", cluster.linkDelay);
+            emit("delay_us", cluster.linkDelayUs);
+        }
+        if (cluster.crashAtMs >= 0) {
+            emit("crash_at_ms", cluster.crashAtMs);
+            emit("crash_frac", cluster.crashFrac);
+        }
     }
     if (seed)
         os << " seed=" << seed;
@@ -246,6 +368,73 @@ FaultInjector::pipeDrop(std::uint64_t req_id, unsigned attempt,
     const FaultRates &r = rates_[fn];
     // Site 4 keeps the drop draw independent of the fate draw.
     return r.pipeDrop > 0 && u(req_id, attempt, 4) < r.pipeDrop;
+}
+
+void
+ClusterFaultInjector::configure(const FaultPlan &plan,
+                                std::uint64_t fallback_seed)
+{
+    // A distinct mixing constant keeps the fleet hash stream
+    // independent of the worker injector's even when both derive from
+    // the same fallback seed.
+    std::uint64_t base = plan.seed ? plan.seed : fallback_seed;
+    seed_ = smix(base ^ 0x6368616f732121ull);
+    rates_ = plan.cluster;
+    enabled_ = rates_.any();
+}
+
+double
+ClusterFaultInjector::u(std::uint64_t a, std::uint64_t b,
+                        unsigned site) const
+{
+    std::uint64_t h = smix(seed_ ^ smix(a));
+    h = smix(h ^ (b << 8 | site));
+    return toUnit(h);
+}
+
+bool
+ClusterFaultInjector::crashes(std::uint32_t server,
+                              std::uint64_t window) const
+{
+    return enabled_ && rates_.serverCrash > 0 &&
+           u(server, window, 0) < rates_.serverCrash;
+}
+
+double
+ClusterFaultInjector::crashOffset(std::uint32_t server,
+                                  std::uint64_t window) const
+{
+    return u(server, window, 1);
+}
+
+bool
+ClusterFaultInjector::grayWindow(std::uint32_t server,
+                                 std::uint64_t window) const
+{
+    if (!enabled_)
+        return false;
+    if (rates_.grayServer >= 0 &&
+        server == static_cast<std::uint32_t>(rates_.grayServer))
+        return true;
+    return rates_.gray > 0 && u(server, window, 2) < rates_.gray;
+}
+
+bool
+ClusterFaultInjector::linkDrop(std::uint64_t req_id, unsigned attempt,
+                               unsigned copy) const
+{
+    return enabled_ && rates_.linkDrop > 0 &&
+           u(req_id, (static_cast<std::uint64_t>(attempt) << 2) | copy,
+             3) < rates_.linkDrop;
+}
+
+bool
+ClusterFaultInjector::linkDelay(std::uint64_t req_id, unsigned attempt,
+                                unsigned copy) const
+{
+    return enabled_ && rates_.linkDelay > 0 &&
+           u(req_id, (static_cast<std::uint64_t>(attempt) << 2) | copy,
+             4) < rates_.linkDelay;
 }
 
 } // namespace jord::fault

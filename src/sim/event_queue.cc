@@ -1,7 +1,5 @@
 #include "sim/event_queue.hh"
 
-#include <algorithm>
-
 #include "sim/logging.hh"
 
 namespace jord::sim {
@@ -33,16 +31,13 @@ EventQueue::scheduleDaemon(Tick when, EventFn fn)
 bool
 EventQueue::isCancelled(std::uint64_t handle) const
 {
-    return std::find(cancelled_.begin(), cancelled_.end(), handle) !=
-           cancelled_.end();
+    return cancelled_.count(handle) != 0;
 }
 
 void
 EventQueue::forgetCancelled(std::uint64_t handle)
 {
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), handle);
-    if (it != cancelled_.end())
-        cancelled_.erase(it);
+    cancelled_.erase(handle);
 }
 
 bool
@@ -53,7 +48,7 @@ EventQueue::cancel(std::uint64_t handle)
     // We cannot cheaply verify the handle is still in the heap; record it
     // and filter at dispatch. Handles are unique, so a stale cancel of an
     // already-fired event leaves a harmless tombstone that is never matched.
-    cancelled_.push_back(handle);
+    cancelled_.insert(handle);
     return true;
 }
 

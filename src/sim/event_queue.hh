@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/types.hh"
@@ -135,8 +136,13 @@ class EventQueue
     std::uint64_t nextSeq_ = 0;
     std::uint64_t nextHandle_ = 1;
     std::uint64_t numDispatched_ = 0;
-    /** Handles cancelled while still in the heap (lazy deletion). */
-    std::vector<std::uint64_t> cancelled_;
+    /**
+     * Handles cancelled while still in the heap (lazy deletion).
+     * A hash set keeps cancel() and the dispatch-time check O(1):
+     * hedged cluster requests cancel one event per request, which
+     * made the previous linear-scan list a hot path.
+     */
+    std::unordered_set<std::uint64_t> cancelled_;
 
     bool isCancelled(std::uint64_t handle) const;
     void forgetCancelled(std::uint64_t handle);

@@ -426,3 +426,218 @@ TEST(Cluster, WorkerMetricsPrefixKeepsServersDistinct)
         registry.counter("server1.runtime.requests.completed").value(),
         0u);
 }
+
+// --- Fleet fault tolerance (seeded chaos + resilience mechanisms) -------
+
+namespace {
+
+/** Fleet-level conservation: every request resolves exactly once. */
+void
+expectFleetConservation(const ClusterResult &res)
+{
+    EXPECT_EQ(res.completed + res.shed + res.failed, res.generated);
+}
+
+} // namespace
+
+TEST(ClusterChaos, ZeroRatePlanAndIdleMechanismsAreInvisible)
+{
+    // A parsed-but-zero cluster clause must leave every result field
+    // bit-for-bit unchanged: the injector stays disabled, no RNG
+    // stream shifts, no event reorders.
+    ServerModel model = fakeModel();
+    ClusterConfig plain = fleetConfig(4, 2.8, TrafficShape::Diurnal);
+    ClusterConfig zeroed = plain;
+    zeroed.faultPlan =
+        fault::FaultPlan::parse("cluster:crash=0,gray=0,drop=0");
+    ClusterResult a = ClusterSim(plain, model).run();
+    ClusterResult b = ClusterSim(zeroed, model).run();
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.coldStarts, b.coldStarts);
+    EXPECT_EQ(a.p99Us, b.p99Us);
+    EXPECT_EQ(a.meanUs, b.meanUs);
+    EXPECT_EQ(a.goodputMrps, b.goodputMrps);
+    EXPECT_EQ(a.costServerSeconds, b.costServerSeconds);
+    EXPECT_EQ(b.crashes, 0u);
+    EXPECT_EQ(b.failed, 0u);
+    EXPECT_EQ(b.timeToRecoverUs, 0.0);
+}
+
+TEST(ClusterChaos, SameSeedChaosRunsAreIdentical)
+{
+    ServerModel model = fakeModel();
+    ClusterConfig cfg = fleetConfig(4, 2.4);
+    cfg.faultPlan = fault::FaultPlan::parse(
+        "cluster:crash=0.03,gray=0.1,grayx=4,drop=0.01,delay=0.02");
+    cfg.resilience.healthCheck = true;
+    cfg.resilience.hedgeUs = 18.0;
+    cfg.resilience.retryBudgetFrac = 0.2;
+    cfg.resilience.outlierEject = true;
+    ClusterResult a = ClusterSim(cfg, model).run();
+    ClusterResult b = ClusterSim(cfg, model).run();
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.retries, b.retries);
+    EXPECT_EQ(a.hedges, b.hedges);
+    EXPECT_EQ(a.hedgeWins, b.hedgeWins);
+    EXPECT_EQ(a.crashes, b.crashes);
+    EXPECT_EQ(a.restarts, b.restarts);
+    EXPECT_EQ(a.ejections, b.ejections);
+    EXPECT_EQ(a.p99Us, b.p99Us);
+    EXPECT_EQ(a.timeToRecoverUs, b.timeToRecoverUs);
+    EXPECT_EQ(a.sloBurn, b.sloBurn);
+    expectFleetConservation(a);
+    EXPECT_GT(a.crashes, 0u);
+}
+
+TEST(ClusterChaos, ConservationHoldsUnderEveryMechanismMix)
+{
+    // generated == completed + shed + failed under crash, gray, link
+    // faults and every mechanism armed at once (including breakers,
+    // whose sheds ride the shed counter, and hedges, whose denied
+    // copies must not be double-counted).
+    ServerModel model = fakeModel();
+    ClusterConfig cfg = fleetConfig(4, 2.4);
+    cfg.serverQueueCap = 16;
+    cfg.faultPlan = fault::FaultPlan::parse(
+        "cluster:crash=0.05,gray=0.1,grayx=6,drop=0.05,delay=0.05");
+    cfg.resilience.healthCheck = true;
+    cfg.resilience.hedgeUs = 18.0;
+    cfg.resilience.retryBudgetFrac = 0.3;
+    cfg.resilience.outlierEject = true;
+    cfg.resilience.breaker = true;
+    cfg.resilience.breakerThreshold = 4;
+    ClusterResult res = ClusterSim(cfg, model).run();
+    expectFleetConservation(res);
+    EXPECT_GT(res.crashes, 0u);
+    EXPECT_GT(res.completed, 0u);
+    EXPECT_LE(res.breakerShed, res.shed);
+}
+
+TEST(ClusterChaos, HealthCheckAndRetriesRestoreAvailability)
+{
+    // Without health checks the LB keeps dispatching into crashed
+    // servers until the detection timeout and those requests fail;
+    // with heartbeats plus a budgeted retry the fleet recovers nearly
+    // all of them.
+    ServerModel model = fakeModel();
+    ClusterConfig cfg = fleetConfig(4, 2.4);
+    cfg.faultPlan = fault::FaultPlan::parse("cluster:crash=0.03");
+    ClusterResult off = ClusterSim(cfg, model).run();
+    cfg.resilience.healthCheck = true;
+    cfg.resilience.retryBudgetFrac = 0.2;
+    ClusterResult on = ClusterSim(cfg, model).run();
+    expectFleetConservation(off);
+    expectFleetConservation(on);
+    EXPECT_GT(off.failed, 0u);
+    EXPECT_LT(on.failed, off.failed);
+    EXPECT_GT(on.retries, 0u);
+}
+
+TEST(ClusterChaos, EjectPlusHedgeBeatsUnguardedUnderGrayServer)
+{
+    // The acceptance criterion: one server running 8x slow for the
+    // whole run must drag the unguarded fleet P99 up; outlier
+    // ejection plus hedging routes around it and lands strictly
+    // below.
+    ServerModel model = fakeModel();
+    ClusterConfig cfg = fleetConfig(8, 0.7 * 8 * model.capacityMrps);
+    cfg.faultPlan =
+        fault::FaultPlan::parse("cluster:gray_server=0,grayx=8");
+    ClusterResult off = ClusterSim(cfg, model).run();
+    cfg.resilience.outlierEject = true;
+    cfg.resilience.hedgeUs = 6.0 * model.meanLatencyUs;
+    ClusterResult on = ClusterSim(cfg, model).run();
+    EXPECT_GT(on.ejections, 0u);
+    EXPECT_LT(on.p99Us, off.p99Us);
+    EXPECT_GE(on.goodputMrps, off.goodputMrps);
+    expectFleetConservation(on);
+}
+
+TEST(ClusterChaos, RetryBudgetGoodputNoWorseUnderMassCrash)
+{
+    // The acceptance criterion: when half the fleet crashes at once,
+    // budgeted retries recover the lost requests without a retry
+    // storm -- goodput is no worse than with retries off, and far
+    // fewer requests fail.
+    ServerModel model = fakeModel();
+    ClusterConfig cfg = fleetConfig(8, 0.4 * 8 * model.capacityMrps);
+    cfg.faultPlan = fault::FaultPlan::parse(
+        "cluster:crash_at_ms=6,crash_frac=0.5");
+    cfg.resilience.healthCheck = true;
+    ClusterResult none = ClusterSim(cfg, model).run();
+    cfg.resilience.retryBudgetFrac = 0.2;
+    ClusterResult budgeted = ClusterSim(cfg, model).run();
+    expectFleetConservation(none);
+    expectFleetConservation(budgeted);
+    EXPECT_EQ(none.crashes, 4u);
+    EXPECT_EQ(none.restarts, 4u);
+    EXPECT_GT(none.failed, 0u);
+    EXPECT_LT(budgeted.failed, none.failed);
+    EXPECT_GE(budgeted.goodputMrps, none.goodputMrps);
+    EXPECT_LE(budgeted.retries,
+              static_cast<std::uint64_t>(0.2 * budgeted.generated) + 1);
+    // Both fleets fully recover: TTR is finite and positive.
+    EXPECT_GT(none.timeToRecoverUs, 0.0);
+    EXPECT_GT(budgeted.timeToRecoverUs, 0.0);
+}
+
+TEST(ClusterChaos, HedgeBudgetCapsHedgeVolume)
+{
+    // A hedge delay below the mean would fire on nearly every request
+    // and melt the fleet; the budget caps hedges at 10% of primaries
+    // so the pathology is bounded by construction.
+    ServerModel model = fakeModel();
+    ClusterConfig cfg = fleetConfig(4, 2.8);
+    cfg.resilience.hedgeUs = 1.0;
+    ClusterResult res = ClusterSim(cfg, model).run();
+    EXPECT_GT(res.hedges, 0u);
+    EXPECT_LE(res.hedges,
+              static_cast<std::uint64_t>(0.1 * res.generated) + 1);
+    expectFleetConservation(res);
+}
+
+TEST(ClusterChaos, BreakerOpensAndShedsUnderPersistentLinkFailure)
+{
+    // 60% link drop: per-(server,tenant) breakers hit their
+    // consecutive-failure threshold, open, and shed at admission
+    // instead of queueing requests that will only fail.
+    ServerModel model = fakeModel();
+    ClusterConfig cfg = fleetConfig(4, 2.0);
+    cfg.faultPlan = fault::FaultPlan::parse("cluster:drop=0.6");
+    cfg.resilience.breaker = true;
+    cfg.resilience.breakerThreshold = 4;
+    ClusterResult res = ClusterSim(cfg, model).run();
+    expectFleetConservation(res);
+    EXPECT_GT(res.breakerOpens, 0u);
+    EXPECT_GT(res.breakerShed, 0u);
+    EXPECT_LE(res.breakerShed, res.shed);
+}
+
+TEST(ClusterChaos, CrashLosesWarmPoolsAndRecoveryCostScalesWithSlots)
+{
+    // Groundhog-style restore: restart cost grows with the warm slots
+    // re-prewarmed, so a larger recover_us keeps the server down
+    // longer and fails more requests (no health check here).
+    ServerModel model = fakeModel();
+    ClusterConfig cfg = fleetConfig(2, 1.0);
+    cfg.faultPlan = fault::FaultPlan::parse(
+        "cluster:crash_at_ms=5,crash_frac=0.5,restart_ms=1,"
+        "recover_us=0");
+    ClusterResult fast = ClusterSim(cfg, model).run();
+    cfg.faultPlan = fault::FaultPlan::parse(
+        "cluster:crash_at_ms=5,crash_frac=0.5,restart_ms=1,"
+        "recover_us=2000");
+    ClusterResult slow = ClusterSim(cfg, model).run();
+    expectFleetConservation(fast);
+    expectFleetConservation(slow);
+    EXPECT_EQ(fast.crashes, 1u);
+    EXPECT_EQ(slow.crashes, 1u);
+    EXPECT_GT(slow.timeToRecoverUs, fast.timeToRecoverUs);
+    EXPECT_GE(slow.failed, fast.failed);
+}

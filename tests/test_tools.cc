@@ -13,6 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -271,4 +274,101 @@ TEST(JordsimCluster, HelpDocumentsFleetFlags)
     EXPECT_NE(help.find("--lb"), std::string::npos);
     EXPECT_NE(help.find("--traffic"), std::string::npos);
     EXPECT_NE(help.find("--autoscale"), std::string::npos);
+}
+
+// --- jordsim flag/mode compatibility matrix ---------------------------------
+
+/** Run a command and capture its combined stdout+stderr. */
+int
+runCapture(const std::string &cmd, std::string &out)
+{
+    static int seq = 0;
+    std::string path = tmpPath("capture_" + std::to_string(getpid()) +
+                               "_" + std::to_string(seq++) + ".txt");
+    int status = std::system(
+        (cmd + " > " + shellQuote(path) + " 2>&1").c_str());
+    out = slurp(path);
+    if (status < 0)
+        return -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(JordsimCluster, WorkerOnlyFlagsAreRejectedInClusterMode)
+{
+    // Each worker-only knob must fail loudly under --cluster with a
+    // one-line pointer, not be silently ignored.
+    const char *flags[] = {"--timeout-us 300", "--max-retries 2",
+                           "--retry-backoff-us 10"};
+    for (const char *flag : flags) {
+        std::string out;
+        EXPECT_NE(runCapture(kJordsim + " --cluster 2 --duration-ms 2 " +
+                                 flag,
+                             out),
+                  0)
+            << flag;
+        EXPECT_NE(out.find("is a worker-only flag and has no effect "
+                           "with --cluster (remove it)"),
+                  std::string::npos)
+            << out;
+    }
+}
+
+TEST(JordsimCluster, FleetOnlyFlagsAreRejectedInWorkerMode)
+{
+    const char *flags[] = {"--lb jsq",         "--traffic diurnal",
+                           "--duration-ms 4",  "--slo-us 100",
+                           "--autoscale 1..4",  "--hedge-us 20",
+                           "--outlier-eject",  "--retry-budget 0.2",
+                           "--health-check",   "--breaker"};
+    for (const char *flag : flags) {
+        std::string out;
+        EXPECT_NE(runCapture(kJordsim + " --requests 100 " + flag, out),
+                  0)
+            << flag;
+        EXPECT_NE(
+            out.find("is a fleet-only flag and requires --cluster N"),
+            std::string::npos)
+            << out;
+    }
+}
+
+TEST(JordsimCluster, FaultPlanScopeIsCheckedAgainstMode)
+{
+    // Function-scope clauses drive the in-worker injector; the
+    // cluster clause drives the fleet injector. Each is rejected in
+    // the other mode instead of silently doing nothing.
+    std::string out;
+    EXPECT_NE(runCapture(kJordsim +
+                             " --cluster 2 --duration-ms 2"
+                             " --fault-plan crash=0.1",
+                         out),
+              0);
+    EXPECT_NE(out.find("function-scope clauses are worker-only"),
+              std::string::npos)
+        << out;
+    EXPECT_NE(runCapture(kJordsim +
+                             " --requests 100"
+                             " --fault-plan cluster:crash=0.1",
+                         out),
+              0);
+    EXPECT_NE(out.find("the 'cluster:' clause requires --cluster N"),
+              std::string::npos)
+        << out;
+}
+
+TEST(JordsimCluster, ChaosRunsAreDeterministicAndConserving)
+{
+    std::string run =
+        kJordsim +
+        " --cluster 2 --mrps 1.2 --duration-ms 4 --requests 2000"
+        " --fault-plan cluster:crash=0.05,gray=0.1,grayx=4"
+        " --health-check --hedge-us 20 --retry-budget 0.2"
+        " --outlier-eject --breaker --csv";
+    std::string csv, again;
+    ASSERT_EQ(runCapture(run, csv), 0);
+    ASSERT_EQ(runCapture(run, again), 0);
+    EXPECT_EQ(csv, again);
+    // The chaos columns are present and the run saw real faults.
+    EXPECT_NE(csv.find("crashes"), std::string::npos);
+    EXPECT_NE(csv.find("ttr_us"), std::string::npos);
 }

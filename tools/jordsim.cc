@@ -23,6 +23,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "check/check.hh"
 #include "cluster/cluster.hh"
@@ -83,6 +84,16 @@ struct Options {
     double sloUs = 0;
     bool autoscale = false;
     unsigned autoscaleLo = 0, autoscaleHi = 0;
+    double hedgeUs = 0;
+    bool outlierEject = false;
+    double ejectMult = 3.0;
+    double retryBudget = 0;
+    bool healthCheck = false;
+    bool breaker = false;
+    /** Explicitly-given flags that only make sense in one mode; the
+     * other mode rejects them instead of silently ignoring them. */
+    std::vector<std::string> workerOnlyFlags;
+    std::vector<std::string> clusterOnlyFlags;
     unsigned jobs = par::defaultJobs();
     std::string jsonOut;
     std::string traceOut;
@@ -147,6 +158,34 @@ printUsage()
         "                      A..B active servers (initial count is\n"
         "                      --cluster N clamped into [A, B])\n"
         "\n"
+        "fleet fault tolerance (--cluster only; all off by default):\n"
+        "  --fault-plan SPEC   in fleet mode the plan's 'cluster:'\n"
+        "                      clause injects fleet chaos: crash\n"
+        "                      (per-server hazard probability per\n"
+        "                      window_ms window), restart_ms +\n"
+        "                      recover_us (Groundhog-style restart\n"
+        "                      cost per re-warmed slot), gray / grayx\n"
+        "                      (slow-but-alive windows), drop / delay\n"
+        "                      / delay_us (LB<->server link faults),\n"
+        "                      gray_server=K (one scripted gray\n"
+        "                      server), crash_at_ms + crash_frac (a\n"
+        "                      scripted mass crash). e.g.\n"
+        "                      \"cluster:crash=0.02,gray=0.05,grayx=4\"\n"
+        "  --hedge-us X        hedge a still-outstanding request to a\n"
+        "                      second server after X us; first\n"
+        "                      completion wins, the loser is cancelled\n"
+        "  --outlier-eject[=M] eject servers whose interval P99\n"
+        "                      exceeds M x the fleet median (default\n"
+        "                      M=3), with probation re-admission\n"
+        "  --retry-budget F    retry failed requests while total\n"
+        "                      retries stay under F x generated\n"
+        "                      primaries (storm-proof retry cap)\n"
+        "  --health-check      heartbeat failure detector: stop\n"
+        "                      routing to a server after 3 missed\n"
+        "                      beats, re-admit after restart\n"
+        "  --breaker           per-(server,tenant) circuit breakers\n"
+        "                      feeding the shed path\n"
+        "\n"
         "host parallelism:\n"
         "  --jobs N            fan independent runs (sweep points,\n"
         "                      seeds) across N host threads; 0 = one\n"
@@ -184,6 +223,12 @@ printUsage()
         "  --shed-cap N        shed external arrivals when an\n"
         "                      orchestrator's external queue holds N\n"
         "                      requests (0 = never shed)\n"
+        "\n"
+        "Worker-only flags (--timeout-us, --max-retries,\n"
+        "--retry-backoff-us) are rejected with --cluster, and\n"
+        "fleet-only flags (--lb, --traffic, --duration-ms, --slo-us,\n"
+        "--autoscale, --hedge-us, --outlier-eject, --retry-budget,\n"
+        "--health-check, --breaker) are rejected without it.\n"
         "\n"
         "checking (JordSan, all off by default):\n"
         "  --check[=FAMILIES]  run with the isolation sanitizer on.\n"
@@ -289,14 +334,17 @@ parseArgs(int argc, char **argv)
         }
         else if (flag == "--fault-plan")
             opt.faultPlan = value();
-        else if (flag == "--timeout-us")
+        else if (flag == "--timeout-us") {
             opt.timeoutUs = std::strtod(value().c_str(), nullptr);
-        else if (flag == "--max-retries")
+            opt.workerOnlyFlags.push_back(flag);
+        } else if (flag == "--max-retries") {
             opt.maxRetries = static_cast<unsigned>(
                 std::strtoul(value().c_str(), nullptr, 10));
-        else if (flag == "--retry-backoff-us")
+            opt.workerOnlyFlags.push_back(flag);
+        } else if (flag == "--retry-backoff-us") {
             opt.retryBackoffUs = std::strtod(value().c_str(), nullptr);
-        else if (flag == "--shed-cap")
+            opt.workerOnlyFlags.push_back(flag);
+        } else if (flag == "--shed-cap")
             opt.shedCap = static_cast<std::size_t>(
                 std::strtoull(value().c_str(), nullptr, 10));
         else if (flag == "--check") {
@@ -323,15 +371,19 @@ parseArgs(int argc, char **argv)
         } else if (flag == "--cluster")
             opt.cluster = static_cast<unsigned>(
                 std::strtoul(value().c_str(), nullptr, 10));
-        else if (flag == "--lb")
+        else if (flag == "--lb") {
             opt.lb = value();
-        else if (flag == "--traffic")
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--traffic") {
             opt.traffic = value();
-        else if (flag == "--duration-ms")
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--duration-ms") {
             opt.durationMs = std::strtod(value().c_str(), nullptr);
-        else if (flag == "--slo-us")
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--slo-us") {
             opt.sloUs = std::strtod(value().c_str(), nullptr);
-        else if (flag == "--autoscale") {
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--autoscale") {
             std::string spec = value();
             unsigned long lo = 0, hi = 0;
             if (std::sscanf(spec.c_str(), "%lu..%lu", &lo, &hi) != 2 ||
@@ -342,6 +394,39 @@ parseArgs(int argc, char **argv)
             opt.autoscale = true;
             opt.autoscaleLo = static_cast<unsigned>(lo);
             opt.autoscaleHi = static_cast<unsigned>(hi);
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--hedge-us") {
+            opt.hedgeUs = std::strtod(value().c_str(), nullptr);
+            if (opt.hedgeUs < 0)
+                sim::fatal("--hedge-us expects a delay >= 0, got %g",
+                           opt.hedgeUs);
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--outlier-eject") {
+            // Bare --outlier-eject uses the default multiple;
+            // --outlier-eject=MULT overrides it.
+            opt.outlierEject = true;
+            if (has_inline) {
+                opt.ejectMult =
+                    std::strtod(inline_val.c_str(), nullptr);
+                if (opt.ejectMult <= 1.0)
+                    sim::fatal("--outlier-eject expects a P99 multiple "
+                               "> 1, got '%s'",
+                               inline_val.c_str());
+            }
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--retry-budget") {
+            opt.retryBudget = std::strtod(value().c_str(), nullptr);
+            if (opt.retryBudget < 0)
+                sim::fatal("--retry-budget expects a fraction >= 0, "
+                           "got %g",
+                           opt.retryBudget);
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--health-check") {
+            opt.healthCheck = true;
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--breaker") {
+            opt.breaker = true;
+            opt.clusterOnlyFlags.push_back(flag);
         } else if (flag == "--seed-sweep") {
             std::string spec = value();
             unsigned long long lo = 0, hi = 0;
@@ -596,6 +681,11 @@ runCluster(const Options &opt, par::ThreadPool *pool)
     workloads::Workload w = workloads::makeByName(opt.workload);
     cluster::ClusterConfig cfg;
     cfg.worker = makeWorkerConfig(opt);
+    // The fault plan's cluster: clause drives fleet chaos; the
+    // calibration runs measure a healthy server, so the plan never
+    // reaches the per-worker injector here.
+    cfg.faultPlan = cfg.worker.faultPlan;
+    cfg.worker.faultPlan = fault::FaultPlan{};
     // --shed-cap is the *fleet-level* admission cap here; the
     // calibration runs measure the server itself unshedded.
     cfg.worker.shedCap = 0;
@@ -613,6 +703,12 @@ runCluster(const Options &opt, par::ThreadPool *pool)
         cfg.autoscale.minServers = opt.autoscaleLo;
         cfg.autoscale.maxServers = opt.autoscaleHi;
     }
+    cfg.resilience.hedgeUs = opt.hedgeUs;
+    cfg.resilience.outlierEject = opt.outlierEject;
+    cfg.resilience.ejectMult = opt.ejectMult;
+    cfg.resilience.retryBudgetFrac = opt.retryBudget;
+    cfg.resilience.healthCheck = opt.healthCheck;
+    cfg.resilience.breaker = opt.breaker;
 
     cluster::ServerModel model = cluster::calibrateServer(
         w, cfg.worker, cfg.calibration, pool);
@@ -637,6 +733,19 @@ runCluster(const Options &opt, par::ThreadPool *pool)
         json["cluster.p99_us"] = res.p99Us;
         json["cluster.cost_server_s"] = res.costServerSeconds;
         json["cluster.shed"] = static_cast<double>(res.shed);
+        json["cluster.failed"] = static_cast<double>(res.failed);
+        json["cluster.retries"] = static_cast<double>(res.retries);
+        json["cluster.hedges"] = static_cast<double>(res.hedges);
+        json["cluster.hedge_wins"] =
+            static_cast<double>(res.hedgeWins);
+        json["cluster.crashes"] = static_cast<double>(res.crashes);
+        json["cluster.restarts"] = static_cast<double>(res.restarts);
+        json["cluster.ejections"] =
+            static_cast<double>(res.ejections);
+        json["cluster.breaker_opens"] =
+            static_cast<double>(res.breakerOpens);
+        json["cluster.ttr_us"] = res.timeToRecoverUs;
+        json["cluster.slo_burn"] = res.sloBurn;
         std::ofstream out(opt.jsonOut);
         if (!out)
             sim::fatal("cannot open '%s'", opt.jsonOut.c_str());
@@ -647,10 +756,13 @@ runCluster(const Options &opt, par::ThreadPool *pool)
         std::printf("workload,system,servers,lb,traffic,offered_mrps,"
                     "achieved_mrps,goodput_mrps,mean_us,p50_us,p99_us,"
                     "slo_us,cost_server_s,completed,shed,cold_starts,"
+                    "failed,retries,hedges,hedge_wins,crashes,"
+                    "restarts,ejections,breaker_opens,ttr_us,slo_burn,"
                     "final_servers\n");
         std::printf(
             "%s,%s,%u,%s,%s,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,"
-            "%.6f,%llu,%llu,%llu,%u\n",
+            "%.6f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+            "%llu,%.4f,%.6f,%u\n",
             opt.workload.c_str(), opt.system.c_str(), opt.cluster,
             opt.lb.c_str(), opt.traffic.c_str(), res.offeredMrps,
             res.achievedMrps, res.goodputMrps, res.meanUs, res.p50Us,
@@ -658,7 +770,15 @@ runCluster(const Options &opt, par::ThreadPool *pool)
             static_cast<unsigned long long>(res.completed),
             static_cast<unsigned long long>(res.shed),
             static_cast<unsigned long long>(res.coldStarts),
-            res.finalActiveServers);
+            static_cast<unsigned long long>(res.failed),
+            static_cast<unsigned long long>(res.retries),
+            static_cast<unsigned long long>(res.hedges),
+            static_cast<unsigned long long>(res.hedgeWins),
+            static_cast<unsigned long long>(res.crashes),
+            static_cast<unsigned long long>(res.restarts),
+            static_cast<unsigned long long>(res.ejections),
+            static_cast<unsigned long long>(res.breakerOpens),
+            res.timeToRecoverUs, res.sloBurn, res.finalActiveServers);
         return 0;
     }
 
@@ -677,10 +797,35 @@ runCluster(const Options &opt, par::ThreadPool *pool)
                 "%.2f us p99\n",
                 res.meanUs, res.p50Us, res.p99Us);
     std::printf("  outcomes     %llu completed, %llu shed, "
-                "%llu cold starts\n",
+                "%llu failed, %llu cold starts\n",
                 static_cast<unsigned long long>(res.completed),
                 static_cast<unsigned long long>(res.shed),
+                static_cast<unsigned long long>(res.failed),
                 static_cast<unsigned long long>(res.coldStarts));
+    if (res.crashes || res.retries || res.hedges || res.ejections ||
+        res.breakerOpens) {
+        std::printf("  chaos        %llu crashes (%llu restarts), "
+                    "%llu retries, %llu hedges (%llu wins), "
+                    "%llu ejections, %llu breaker opens\n",
+                    static_cast<unsigned long long>(res.crashes),
+                    static_cast<unsigned long long>(res.restarts),
+                    static_cast<unsigned long long>(res.retries),
+                    static_cast<unsigned long long>(res.hedges),
+                    static_cast<unsigned long long>(res.hedgeWins),
+                    static_cast<unsigned long long>(res.ejections),
+                    static_cast<unsigned long long>(
+                        res.breakerOpens));
+        if (res.crashes) {
+            if (res.timeToRecoverUs < 0)
+                std::printf("  recovery     never recovered, "
+                            "SLO burn %.4f\n",
+                            res.sloBurn);
+            else
+                std::printf("  recovery     %.1f us to recover, "
+                            "SLO burn %.4f\n",
+                            res.timeToRecoverUs, res.sloBurn);
+        }
+    }
     std::printf("  cost         %.6f server-seconds (%u servers "
                 "final)\n",
                 res.costServerSeconds, res.finalActiveServers);
@@ -803,6 +948,26 @@ main(int argc, char **argv)
     if (opt.cluster > 0 && (opt.sweep || opt.seedSweep))
         sim::fatal("--cluster is mutually exclusive with --sweep and "
                    "--seed-sweep");
+    // Mode/flag compatibility: a flag that only one mode reads is an
+    // error in the other, never a silent no-op.
+    if (opt.cluster > 0 && !opt.workerOnlyFlags.empty())
+        sim::fatal("%s is a worker-only flag and has no effect with "
+                   "--cluster (remove it)",
+                   opt.workerOnlyFlags.front().c_str());
+    if (opt.cluster == 0 && !opt.clusterOnlyFlags.empty())
+        sim::fatal("%s is a fleet-only flag and requires --cluster N",
+                   opt.clusterOnlyFlags.front().c_str());
+    if (!opt.faultPlan.empty()) {
+        fault::FaultPlan plan = fault::FaultPlan::parse(opt.faultPlan);
+        if (opt.cluster > 0 &&
+            (plan.defaults.any() || !plan.byFunction.empty()))
+            sim::fatal("fault plan: function-scope clauses are "
+                       "worker-only; --cluster reads only the "
+                       "'cluster:' clause (and seed)");
+        if (opt.cluster == 0 && plan.cluster.any())
+            sim::fatal("fault plan: the 'cluster:' clause requires "
+                       "--cluster N");
+    }
     std::unique_ptr<par::ThreadPool> pool;
     if (opt.jobs > 1)
         pool = std::make_unique<par::ThreadPool>(opt.jobs);
