@@ -68,8 +68,7 @@ main(int argc, char **argv)
     bench::BenchArgs args =
         bench::BenchArgs::parse(argc, argv, "ablation_runtime");
     std::uint64_t requests = args.quick ? 1500 : 4000;
-    if (const char *env = std::getenv("JORD_ABLATION_REQUESTS"))
-        requests = std::strtoull(env, nullptr, 10);
+    requests = sim::env::getU64("JORD_ABLATION_REQUESTS", requests);
     std::unique_ptr<par::ThreadPool> pool = args.makePool();
 
     workloads::Workload w = workloads::makeHipster();

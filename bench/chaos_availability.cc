@@ -83,8 +83,7 @@ main(int argc, char **argv)
 
     ClusterConfig base;
     base.calibration.requests = args.quick ? 3000 : 12000;
-    if (const char *env = std::getenv("JORD_CHAOS_REQUESTS"))
-        base.calibration.requests = std::strtoull(env, nullptr, 10);
+    base.calibration.requests = sim::env::getU64("JORD_CHAOS_REQUESTS", base.calibration.requests);
     base.numServers = 8;
     base.traffic.durationUs = args.quick ? 20000.0 : 60000.0;
     base.serverQueueCap = 256;

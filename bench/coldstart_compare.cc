@@ -30,8 +30,7 @@ main(int argc, char **argv)
     bench::BenchArgs args =
         bench::BenchArgs::parse(argc, argv, "coldstart_compare");
     std::uint64_t requests = args.quick ? 2000 : 6000;
-    if (const char *env = std::getenv("JORD_COLDSTART_REQUESTS"))
-        requests = std::strtoull(env, nullptr, 10);
+    requests = sim::env::getU64("JORD_COLDSTART_REQUESTS", requests);
 
     bench::banner("Cold start: first-burst latency, Jord vs NightCore");
 

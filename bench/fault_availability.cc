@@ -116,8 +116,7 @@ main(int argc, char **argv)
 
     PointConfig pc;
     pc.requests = quick ? 3000 : 12000;
-    if (const char *env = std::getenv("JORD_FAULT_REQUESTS"))
-        pc.requests = std::strtoull(env, nullptr, 10);
+    pc.requests = sim::env::getU64("JORD_FAULT_REQUESTS", pc.requests);
 
     std::vector<double> crash_rates =
         quick ? std::vector<double>{0, 0.01, 0.05}

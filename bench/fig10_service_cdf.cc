@@ -25,8 +25,7 @@ main(int argc, char **argv)
     bench::BenchArgs args =
         bench::BenchArgs::parse(argc, argv, "fig10");
     std::uint64_t requests = args.quick ? 5000 : 20000;
-    if (const char *env = std::getenv("JORD_FIG10_REQUESTS"))
-        requests = std::strtoull(env, nullptr, 10);
+    requests = sim::env::getU64("JORD_FIG10_REQUESTS", requests);
 
     bench::banner("Figure 10: CDF of function service time (Jord, "
                   "low load)");

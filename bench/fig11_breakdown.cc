@@ -46,8 +46,7 @@ int
 main()
 {
     std::uint64_t requests = 20000;
-    if (const char *env = std::getenv("JORD_FIG11_REQUESTS"))
-        requests = std::strtoull(env, nullptr, 10);
+    requests = sim::env::getU64("JORD_FIG11_REQUESTS", requests);
 
     // Moderate load (~35% of each workload's saturation) so queueing
     // does not swamp the intrinsic overheads, mirroring the paper's

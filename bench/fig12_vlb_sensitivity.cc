@@ -49,8 +49,7 @@ main(int argc, char **argv)
     bench::BenchArgs args =
         bench::BenchArgs::parse(argc, argv, "fig12");
     std::uint64_t requests = args.quick ? 1500 : 6000;
-    if (const char *env = std::getenv("JORD_FIG12_REQUESTS"))
-        requests = std::strtoull(env, nullptr, 10);
+    requests = sim::env::getU64("JORD_FIG12_REQUESTS", requests);
     std::unique_ptr<par::ThreadPool> pool = args.makePool();
 
     bench::banner("Figure 12: VLB-size sensitivity "

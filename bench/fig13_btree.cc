@@ -84,8 +84,7 @@ main(int argc, char **argv)
     bench::BenchArgs args =
         bench::BenchArgs::parse(argc, argv, "fig13");
     std::uint64_t requests = args.quick ? 2500 : 10000;
-    if (const char *env = std::getenv("JORD_FIG13_REQUESTS"))
-        requests = std::strtoull(env, nullptr, 10);
+    requests = sim::env::getU64("JORD_FIG13_REQUESTS", requests);
     std::unique_ptr<par::ThreadPool> pool = args.makePool();
 
     workloads::Workload w = workloads::makeHotel();

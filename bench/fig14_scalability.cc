@@ -53,8 +53,7 @@ main(int argc, char **argv)
     bench::BenchArgs args =
         bench::BenchArgs::parse(argc, argv, "fig14");
     std::uint64_t requests = args.quick ? 3000 : 12000;
-    if (const char *env = std::getenv("JORD_FIG14_REQUESTS"))
-        requests = std::strtoull(env, nullptr, 10);
+    requests = sim::env::getU64("JORD_FIG14_REQUESTS", requests);
     std::unique_ptr<par::ThreadPool> pool = args.makePool();
 
     const Scale scales[] = {

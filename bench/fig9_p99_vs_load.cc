@@ -38,8 +38,7 @@ main(int argc, char **argv)
 
     SweepConfig cfg;
     cfg.requestsPerPoint = args.quick ? 2000 : 8000;
-    if (const char *env = std::getenv("JORD_FIG9_REQUESTS"))
-        cfg.requestsPerPoint = std::strtoull(env, nullptr, 10);
+    cfg.requestsPerPoint = sim::env::getU64("JORD_FIG9_REQUESTS", cfg.requestsPerPoint);
     std::unique_ptr<par::ThreadPool> pool = args.makePool();
     cfg.pool = pool.get();
 

@@ -52,8 +52,7 @@ main(int argc, char **argv)
 
     ClusterConfig base;
     base.calibration.requests = args.quick ? 3000 : 12000;
-    if (const char *env = std::getenv("JORD_FIG_CLUSTER_REQUESTS"))
-        base.calibration.requests = std::strtoull(env, nullptr, 10);
+    base.calibration.requests = sim::env::getU64("JORD_FIG_CLUSTER_REQUESTS", base.calibration.requests);
     base.traffic.durationUs = args.quick ? 20000.0 : 60000.0;
     base.serverQueueCap = 256;
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <set>
 
+#include "sim/env.hh"
 #include "sim/logging.hh"
 
 namespace jord::par {
@@ -20,7 +21,7 @@ resolveJobs(unsigned requested)
 unsigned
 defaultJobs()
 {
-    if (const char *env = std::getenv("JORD_JOBS"))
+    if (const char *env = sim::env::get("JORD_JOBS"))
         return resolveJobs(static_cast<unsigned>(
             std::strtoul(env, nullptr, 10)));
     return 1;

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The simulator's single process-environment entry point.
+ *
+ * Environment variables are host state: reading them ad hoc scatters
+ * nondeterminism through the tree and makes runs impossible to audit.
+ * All reads therefore funnel through this one module — the only place
+ * allowed to call std::getenv (enforced statically by detlint rule D1).
+ * Everything an env var can influence is config, resolved once at
+ * startup, never mid-run.
+ */
+
+#ifndef JORD_SIM_ENV_HH
+#define JORD_SIM_ENV_HH
+
+#include <cstdint>
+
+namespace jord::sim::env {
+
+/**
+ * Read @p name from the process environment.
+ *
+ * @return the raw value, or nullptr when unset.
+ */
+const char *get(const char *name);
+
+/**
+ * Read @p name as an unsigned integer.
+ *
+ * @return the parsed value, or @p fallback when the variable is unset.
+ *         A set-but-unparsable value yields 0, matching strtoull.
+ */
+std::uint64_t getU64(const char *name, std::uint64_t fallback);
+
+} // namespace jord::sim::env
+
+#endif // JORD_SIM_ENV_HH

@@ -46,7 +46,7 @@ struct FnAgg {
 };
 
 BreakdownReport
-aggregate(const std::unordered_map<std::uint64_t, PerRequest> &reqs,
+aggregate(const std::map<std::uint64_t, PerRequest> &reqs,
           std::map<std::string, std::string> meta)
 {
     std::map<std::int32_t, FnAgg> byFn;
@@ -143,7 +143,9 @@ BreakdownReport
 analyzeSpans(const Tracer &tracer)
 {
     const double ticks_per_us = tracer.freqGhz() * 1000.0;
-    std::unordered_map<std::uint64_t, PerRequest> reqs;
+    // std::map so aggregation visits requests in id order: byFn
+    // accumulates floats, and float addition is not associative.
+    std::map<std::uint64_t, PerRequest> reqs;
     for (const SpanRecord &rec : tracer.spans()) {
         if (rec.open || rec.req == 0)
             continue;
@@ -165,7 +167,9 @@ analyzeSpans(const Tracer &tracer)
 BreakdownReport
 analyzeChromeTrace(std::istream &in)
 {
-    std::unordered_map<std::uint64_t, PerRequest> reqs;
+    // std::map so aggregation visits requests in id order: byFn
+    // accumulates floats, and float addition is not associative.
+    std::map<std::uint64_t, PerRequest> reqs;
     /** Open async ("b") events awaiting their "e", by span id. */
     struct OpenAsync {
         double tsUs = 0;

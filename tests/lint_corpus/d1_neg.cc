@@ -1,0 +1,20 @@
+// detlint corpus: D1 negatives. Lookalikes that must not fire: member
+// calls, foreign-namespace qualification, idents that are not calls.
+// Corpus files are linted, never compiled, so Stopwatch stays opaque.
+#include <chrono>
+
+struct Stopwatch;
+struct Config;
+
+double
+cleanUses(Stopwatch *sw, Config &cfg)
+{
+    double t = sw->time();
+    unsigned r = sw->rand();
+    unsigned q = fake::rand();
+    const char *v = cfg.getenv("JORD_CORPUS");
+    auto tick = std::chrono::microseconds(200);
+    unsigned time_budget = 3;
+    return t + r + q + time_budget + tick.count() +
+           (v != nullptr ? 1 : 0);
+}

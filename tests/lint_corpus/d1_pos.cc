@@ -1,0 +1,26 @@
+// detlint corpus: D1 positives. Every banned nondeterminism source in
+// this file must fire; lines are pinned by d1_pos.expect.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+
+unsigned
+entropySoup()
+{
+    std::random_device rd;
+    unsigned a = static_cast<unsigned>(std::rand());
+    std::time_t t = std::time(nullptr);
+    auto wall = std::chrono::system_clock::now();
+    auto mono = std::chrono::steady_clock::now();
+    auto fine = std::chrono::high_resolution_clock::now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const char *home = std::getenv("HOME");
+    (void)t;
+    (void)wall;
+    (void)mono;
+    (void)fine;
+    (void)home;
+    return rd() + a;
+}

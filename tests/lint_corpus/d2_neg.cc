@@ -1,0 +1,27 @@
+// detlint corpus: D2 negatives — ordered iteration and keyed access
+// into unordered containers are fine.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+double
+orderedSum()
+{
+    std::map<std::string, double> scores;
+    double sum = 0;
+    for (const auto &kv : scores)
+        sum += kv.second;
+    std::vector<int> v{1, 2, 3};
+    for (int x : v)
+        sum += x;
+    return sum;
+}
+
+int
+keyedLookup()
+{
+    std::unordered_map<int, int> cache;
+    auto it = cache.find(7);
+    return it == cache.end() ? 0 : it->second;
+}

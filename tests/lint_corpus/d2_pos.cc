@@ -1,0 +1,33 @@
+// detlint corpus: D2 positives — hash-order iteration hazards.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, int> snapshot();
+
+double
+sumScores()
+{
+    std::unordered_map<std::string, double> scores;
+    double sum = 0;
+    for (const auto &kv : scores)
+        sum += kv.second;
+    return sum;
+}
+
+int
+firstId()
+{
+    std::unordered_set<int> ids = {1, 2, 3};
+    auto it = ids.begin();
+    return *it;
+}
+
+void
+drain()
+{
+    for (const auto &kv : snapshot())
+        (void)kv;
+    for (int v : std::unordered_set<int>{4, 5})
+        (void)v;
+}

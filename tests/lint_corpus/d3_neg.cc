@@ -1,0 +1,18 @@
+// detlint corpus: D3 negatives — pointer *values* and non-pointer
+// keys never fire.
+#include <map>
+#include <set>
+#include <string>
+
+struct Node;
+
+void
+cleanContainers()
+{
+    std::map<int, Node *> byId;
+    std::set<std::string> names;
+    std::map<std::string, Node *> index;
+    (void)byId;
+    (void)names;
+    (void)index;
+}

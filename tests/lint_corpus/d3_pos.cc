@@ -1,0 +1,18 @@
+// detlint corpus: D3 positives — pointer keys order by allocation
+// address, which varies run to run.
+#include <functional>
+#include <map>
+#include <set>
+
+struct Node;
+
+int
+countPointers(Node *a, Node *b)
+{
+    std::map<Node *, int> rank;
+    std::set<const Node *> seen;
+    std::less<Node *> cmp;
+    rank[a] = 1;
+    seen.insert(b);
+    return cmp(a, b) ? 1 : 0;
+}

@@ -1,0 +1,21 @@
+// detlint corpus: D4 negatives — constants, declarations, and plain
+// locals carry no mutable static state.
+#include <cstdint>
+#include <string>
+
+constexpr unsigned kMaxJobs = 64;
+const char *const kName = "jord";
+
+unsigned parseFlags(const char *arg);
+
+struct Limits {
+    static constexpr int kDepth = 8;
+};
+
+unsigned
+localOnly(unsigned x)
+{
+    unsigned counter = x;
+    static const std::string kTag = "tag";
+    return counter + kTag.size();
+}

@@ -1,0 +1,20 @@
+// detlint corpus: D4 positives — mutable namespace-scope, static
+// member, and static-local state.
+#include <cstdint>
+
+unsigned gRequestCounter = 0;
+
+namespace stats {
+double gTotalUs;
+} // namespace stats
+
+struct Cache {
+    static int hits;
+};
+
+int
+nextId()
+{
+    static int id = 0;
+    return ++id;
+}

@@ -1,0 +1,19 @@
+// detlint corpus: D5 negatives — seeded construction everywhere, and
+// the ctor-initializer-list exemption for class members.
+#include <cstdint>
+#include <random>
+
+struct Worker {
+    std::mt19937 rng;
+    explicit Worker(std::uint64_t seed) : rng(seed) {}
+};
+
+std::uint64_t
+seededDraws(std::uint64_t seed)
+{
+    std::mt19937 gen(seed);
+    std::mt19937_64 wide{seed * 3};
+    sim::Rng local(seed);
+    Worker w(seed);
+    return gen() + wide() + local.next() + w.rng();
+}

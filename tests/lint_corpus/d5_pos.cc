@@ -1,0 +1,17 @@
+// detlint corpus: D5 positives — RNG engines without an explicit seed
+// expression, including an explicitly {}-inited member.
+#include <random>
+
+struct Bad {
+    std::mt19937 rng{};
+};
+
+unsigned
+unseededDraws()
+{
+    std::mt19937 gen;
+    std::mt19937_64 wide{};
+    sim::Rng local;
+    unsigned x = std::default_random_engine()();
+    return gen() + wide() + local.next() + x;
+}

@@ -1,0 +1,15 @@
+// detlint corpus: suppressions that must be rejected (rule SUPP). The
+// underlying findings still fire: a bad suppression hides nothing.
+#include <cstdlib>
+
+const char *
+unjustified()
+{
+    // detlint: allow(D1)
+    const char *a = std::getenv("PATH");
+    // detlint: allow(D1, "")
+    const char *b = std::getenv("HOME");
+    // detlint: allow(D9, "no such rule")
+    const char *c = std::getenv("TERM");
+    return a != nullptr ? a : b != nullptr ? b : c;
+}

@@ -1,0 +1,16 @@
+// detlint corpus: justified suppressions — zero findings expected.
+#include <cstdlib>
+#include <unordered_set>
+
+unsigned
+sanctioned()
+{
+    // detlint: allow(D1, "corpus stand-in for the sim::env entry")
+    const char *v = std::getenv("JORD_CORPUS");
+    std::unordered_set<unsigned> ids = {1, 2, 3};
+    unsigned parity = 0;
+    // detlint: allow(D2, "xor accumulation is order-insensitive")
+    for (unsigned id : ids)
+        parity ^= id;
+    return parity + (v != nullptr ? 1u : 0u);
+}

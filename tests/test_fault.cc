@@ -15,6 +15,7 @@
 #include <cstdlib>
 
 #include "fault/fault.hh"
+#include "sim/env.hh"
 #include "runtime/worker.hh"
 #include "workloads/workloads.hh"
 
@@ -35,9 +36,7 @@ using runtime::WorkerServer;
 std::uint64_t
 faultSeed()
 {
-    if (const char *env = std::getenv("JORD_FAULT_SEED"))
-        return std::strtoull(env, nullptr, 10);
-    return 42;
+    return sim::env::getU64("JORD_FAULT_SEED", 42);
 }
 
 FunctionSpec

@@ -35,6 +35,9 @@ namespace {
 void
 jitter(std::size_t i)
 {
+    // Deliberate wall-clock jitter so the pool's work-stealing paths
+    // actually interleave; it never reaches simulated state.
+    // detlint: allow(D1, "test-only scheduling jitter, not sim state")
     std::this_thread::sleep_for(
         std::chrono::microseconds((i * 7) % 40));
 }

@@ -18,6 +18,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -371,4 +372,150 @@ TEST(JordsimCluster, ChaosRunsAreDeterministicAndConserving)
     // The chaos columns are present and the run saw real faults.
     EXPECT_NE(csv.find("crashes"), std::string::npos);
     EXPECT_NE(csv.find("ttr_us"), std::string::npos);
+}
+
+// --- detlint static analyzer ------------------------------------------------
+
+namespace {
+
+const std::string kDetlint = JORD_DETLINT_BIN;
+const std::string kCorpusDir = JORD_LINT_CORPUS_DIR;
+const std::string kSourceDir = JORD_SOURCE_DIR;
+
+/**
+ * Reduce detlint text output to the golden `RULE LINE SYMBOL` form,
+ * dropping the path prefix and the trailing summary line.
+ */
+std::string
+findingsOf(const std::string &out)
+{
+    std::istringstream in(out);
+    std::string line, result;
+    while (std::getline(in, line)) {
+        if (line.rfind("detlint:", 0) == 0)
+            continue; // summary
+        std::size_t path_end = line.find(".cc:");
+        if (path_end == std::string::npos)
+            continue;
+        std::size_t num = path_end + 4;
+        std::size_t num_end = line.find(':', num);
+        std::size_t rule = num_end + 2;
+        std::size_t rule_end = line.find(' ', rule);
+        std::size_t sym = line.find('[', rule_end);
+        std::size_t sym_end = line.find(']', sym);
+        if (num_end == std::string::npos ||
+            rule_end == std::string::npos ||
+            sym == std::string::npos || sym_end == std::string::npos)
+            continue;
+        result += line.substr(rule, rule_end - rule) + " " +
+                  line.substr(num, num_end - num) + " " +
+                  line.substr(sym + 1, sym_end - sym - 1) + "\n";
+    }
+    return result;
+}
+
+} // namespace
+
+TEST(Detlint, CorpusGoldensMatchEveryRule)
+{
+    namespace fs = std::filesystem;
+    unsigned corpus_files = 0;
+    for (const auto &entry : fs::directory_iterator(kCorpusDir)) {
+        if (entry.path().extension() != ".cc")
+            continue;
+        ++corpus_files;
+        std::string cc = entry.path().string();
+        std::string expect =
+            entry.path().parent_path() /
+            (entry.path().stem().string() + ".expect");
+        std::string golden = slurp(expect);
+        std::string out;
+        int rc = runCapture(kDetlint + " --d4-scope lint_corpus " +
+                                shellQuote(cc),
+                            out);
+        EXPECT_EQ(findingsOf(out), golden) << cc;
+        // Exit code mirrors the golden: 1 with findings, 0 without.
+        EXPECT_EQ(rc, golden.empty() ? 0 : 1) << cc;
+    }
+    // Every rule has a firing and a non-firing file, plus the two
+    // suppression files.
+    EXPECT_EQ(corpus_files, 12u);
+}
+
+TEST(Detlint, SuppressionWithoutJustificationIsRejected)
+{
+    std::string out;
+    EXPECT_EQ(runCapture(kDetlint + " " +
+                             shellQuote(kCorpusDir + "/supp_bad.cc"),
+                         out),
+              1);
+    EXPECT_NE(out.find("missing justification"), std::string::npos)
+        << out;
+    EXPECT_NE(out.find("empty justification"), std::string::npos);
+    EXPECT_NE(out.find("unknown rule 'D9'"), std::string::npos);
+    // The findings a bad suppression tried to hide still fire.
+    EXPECT_NE(out.find("raw 'getenv'"), std::string::npos);
+}
+
+TEST(Detlint, BaselineAdoptsLegacyFindingsAndGatesNewOnes)
+{
+    std::string base = tmpPath("detlint_baseline.txt");
+    std::string d1 = shellQuote(kCorpusDir + "/d1_pos.cc");
+    std::string d5 = shellQuote(kCorpusDir + "/d5_pos.cc");
+    std::string out;
+    ASSERT_EQ(runCapture(kDetlint + " --write-baseline " +
+                             shellQuote(base) + " " + d1,
+                         out),
+              0);
+    // Everything in the baseline: clean exit, nothing new.
+    EXPECT_EQ(runCapture(kDetlint + " --baseline " + shellQuote(base) +
+                             " " + d1,
+                         out),
+              0);
+    EXPECT_NE(out.find("0 new finding(s), 8 baselined"),
+              std::string::npos)
+        << out;
+    // A file outside the baseline still gates.
+    EXPECT_EQ(runCapture(kDetlint + " --baseline " + shellQuote(base) +
+                             " " + d1 + " " + d5,
+                         out),
+              1);
+    EXPECT_NE(out.find("d5_pos.cc"), std::string::npos) << out;
+    EXPECT_NE(out.find("8 baselined"), std::string::npos) << out;
+}
+
+TEST(Detlint, JsonAndSarifAreByteIdenticalAcrossRuns)
+{
+    std::string sarif_a = tmpPath("detlint_a.sarif");
+    std::string sarif_b = tmpPath("detlint_b.sarif");
+    std::string run = kDetlint + " --json --d4-scope lint_corpus " +
+                      shellQuote(kCorpusDir);
+    std::string json_a, json_b;
+    EXPECT_EQ(runCapture(run + " --sarif " + shellQuote(sarif_a),
+                         json_a),
+              1);
+    EXPECT_EQ(runCapture(run + " --sarif " + shellQuote(sarif_b),
+                         json_b),
+              1);
+    EXPECT_EQ(json_a, json_b);
+    EXPECT_FALSE(json_a.empty());
+    std::string sa = slurp(sarif_a), sb = slurp(sarif_b);
+    EXPECT_EQ(sa, sb);
+    EXPECT_NE(sa.find("\"2.1.0\""), std::string::npos);
+    EXPECT_NE(sa.find("\"ruleId\""), std::string::npos);
+}
+
+TEST(Detlint, RepoIsCleanWithAnEmptyBaseline)
+{
+    // The whole tree lints clean — the CI gate, enforced locally too.
+    std::string out;
+    EXPECT_EQ(runCapture(kDetlint + " " +
+                             shellQuote(kSourceDir + "/src") + " " +
+                             shellQuote(kSourceDir + "/tools") + " " +
+                             shellQuote(kSourceDir + "/bench") + " " +
+                             shellQuote(kSourceDir + "/tests"),
+                         out),
+              0)
+        << out;
+    EXPECT_NE(out.find("0 new finding(s)"), std::string::npos) << out;
 }

@@ -1,0 +1,866 @@
+/**
+ * @file
+ * detlint rule engine: a lightweight scope/type layer over the token
+ * stream that enforces the repo's determinism and isolation contracts
+ * as named rules.
+ *
+ *   D1  banned nondeterminism sources (wall clocks, std::rand,
+ *       random_device, sleeps, raw getenv outside the annotated
+ *       sim::env entry point);
+ *   D2  hash-order hazards: iteration over unordered containers
+ *       (range-for or .begin()), which visits elements in hash order
+ *       and can leak host-dependent order into output or float
+ *       accumulation;
+ *   D3  pointer-order hazards: pointer keys in ordered containers or
+ *       std::less over pointers, whose order is the allocator's;
+ *   D4  mutable namespace-scope / static-local state under src/ (the
+ *       src/par "jobs own their WorkerServer" contract) unless
+ *       allowlisted;
+ *   D5  unseeded RNG engine construction: every engine must be built
+ *       from an explicit seed expression. Class members are exempt
+ *       (they are seeded in constructor initializer lists, which a
+ *       token-level pass cannot see) unless explicitly `{}`-inited.
+ *
+ * Suppressions: `// detlint: allow(D2, "why this is order-safe")` on
+ * the finding's line or the line above. A suppression without a
+ * non-empty justification is itself a finding (rule SUPP).
+ *
+ * The analysis is two-pass: pass 1 collects container aliases and the
+ * declared names of (un)ordered variables across *all* files, so a
+ * loop in a .cc over a member declared in its .hh still resolves;
+ * pass 2 walks each file with a scope stack and emits findings.
+ * Heuristics err on the side of flagging — the suppression mechanism,
+ * not silence, is the escape hatch.
+ */
+
+#ifndef JORD_TOOLS_DETLINT_ANALYZER_HH
+#define JORD_TOOLS_DETLINT_ANALYZER_HH
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hh"
+
+namespace jord::detlint {
+
+struct Finding {
+    std::string rule;
+    std::string file;
+    unsigned line = 0;
+    std::string symbol;
+    std::string message;
+    bool baselined = false;
+};
+
+/** Stable ordering: file, then line, then rule, then symbol. */
+inline bool
+findingLess(const Finding &a, const Finding &b)
+{
+    if (a.file != b.file)
+        return a.file < b.file;
+    if (a.line != b.line)
+        return a.line < b.line;
+    if (a.rule != b.rule)
+        return a.rule < b.rule;
+    return a.symbol < b.symbol;
+}
+
+/** Baseline fingerprint; line-stable within one revision. */
+inline std::string
+fingerprint(const Finding &f)
+{
+    return f.rule + "|" + f.file + "|" + std::to_string(f.line) + "|" +
+           f.symbol;
+}
+
+struct RuleInfo {
+    const char *id;
+    const char *name;
+    const char *desc;
+};
+
+inline const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> kRules = {
+        {"D1", "banned-nondeterminism-source",
+         "Wall clocks, process entropy, sleeps, and raw environment "
+         "reads are banned: all nondeterminism must flow through "
+         "seeded sim::Rng instances or the annotated sim::env entry "
+         "point."},
+        {"D2", "hash-order-iteration",
+         "Iterating an unordered container visits elements in hash "
+         "order; switch to std::map / a sorted copy, or suppress with "
+         "a written order-insensitivity argument."},
+        {"D3", "pointer-order-hazard",
+         "Pointer keys in ordered containers (or std::less over "
+         "pointers) order by allocation address, which varies run to "
+         "run."},
+        {"D4", "mutable-static-state",
+         "Mutable namespace-scope or static-local state under src/ "
+         "breaks the src/par contract that jobs own their full "
+         "WorkerServer; add to the committed allowlist only with a "
+         "synchronization story."},
+        {"D5", "unseeded-rng",
+         "RNG engines must be constructed from an explicit seed "
+         "expression traceable to a parameter; default construction "
+         "hides the seed."},
+        {"SUPP", "malformed-suppression",
+         "detlint suppressions require a known rule id and a "
+         "non-empty quoted justification."},
+    };
+    return kRules;
+}
+
+inline bool
+isKnownRule(const std::string &id)
+{
+    for (const RuleInfo &r : ruleCatalog())
+        if (id == r.id)
+            return true;
+    return false;
+}
+
+/** Per-file suppression table: rule id -> suppressed lines. */
+struct Suppressions {
+    std::map<std::string, std::set<unsigned>> lines;
+
+    bool
+    covers(const std::string &rule, unsigned line) const
+    {
+        auto it = lines.find(rule);
+        return it != lines.end() && it->second.count(line) != 0;
+    }
+};
+
+/**
+ * Parse `detlint: allow(D2, "why")` suppression comments. A comment
+ * mentioning detlint without the `allow` marker is prose and ignored;
+ * an `allow` with an unknown rule or a missing/empty justification
+ * becomes a SUPP finding (never suppressible).
+ */
+inline Suppressions
+parseSuppressions(const LexedFile &f, std::vector<Finding> &out)
+{
+    Suppressions supp;
+    for (const Comment &c : f.comments) {
+        std::size_t pos = c.text.find("detlint:");
+        if (pos == std::string::npos)
+            continue;
+        auto bad = [&](const char *why) {
+            out.push_back({"SUPP", f.path, c.line, "detlint",
+                           std::string("malformed suppression: ") +
+                               why});
+        };
+        std::size_t i = pos + 8;
+        auto skipWs = [&] {
+            while (i < c.text.size() &&
+                   (c.text[i] == ' ' || c.text[i] == '\t'))
+                ++i;
+        };
+        skipWs();
+        if (c.text.compare(i, 5, "allow") != 0)
+            continue; // prose mention, not a suppression attempt
+        if (c.text.compare(i, 6, "allow(") != 0) {
+            bad("expected `allow(D<n>, \"justification\")`");
+            continue;
+        }
+        i += 6;
+        skipWs();
+        std::size_t rs = i;
+        while (i < c.text.size() && isIdentChar(c.text[i]))
+            ++i;
+        std::string rule = c.text.substr(rs, i - rs);
+        if (!isKnownRule(rule) || rule == "SUPP") {
+            bad(("unknown rule '" + rule + "'").c_str());
+            continue;
+        }
+        skipWs();
+        if (i >= c.text.size() || c.text[i] != ',') {
+            bad("missing justification (a suppression must say why "
+                "the finding is safe)");
+            continue;
+        }
+        ++i;
+        skipWs();
+        if (i >= c.text.size() || c.text[i] != '"') {
+            bad("justification must be a quoted string");
+            continue;
+        }
+        std::size_t qs = ++i;
+        while (i < c.text.size() && c.text[i] != '"')
+            ++i;
+        if (i >= c.text.size()) {
+            bad("unterminated justification string");
+            continue;
+        }
+        std::string why = c.text.substr(qs, i - qs);
+        ++i;
+        skipWs();
+        if (i >= c.text.size() || c.text[i] != ')') {
+            bad("expected `)` after the justification");
+            continue;
+        }
+        if (why.find_first_not_of(" \t") == std::string::npos) {
+            bad("empty justification");
+            continue;
+        }
+        // A suppression covers its own line(s) and the next line, so
+        // it works both trailing and on the line above the finding.
+        for (unsigned l = c.line; l <= c.line + c.extraLines + 1; ++l)
+            supp.lines[rule].insert(l);
+    }
+    return supp;
+}
+
+class Analyzer
+{
+  public:
+    /** Prefix limiting where D4 applies; "" means everywhere. */
+    std::string d4Scope = "src/";
+    /** D4 allowlist entries, `path:symbol`. */
+    std::vector<std::string> allowlist;
+
+    /** Pass 1a: collect unordered-container type aliases. */
+    void
+    collectAliases(const LexedFile &f)
+    {
+        const auto &t = f.toks;
+        for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+            bool usingAlias = t[i].text == "using" &&
+                              t[i + 1].kind == Tok::Ident &&
+                              t[i + 2].text == "=";
+            bool typedefDecl = t[i].text == "typedef";
+            if (!usingAlias && !typedefDecl)
+                continue;
+            // Scan the statement; remember whether an unordered
+            // container name appears in it.
+            std::size_t j = i + 1;
+            bool unordered = false;
+            std::string lastIdent;
+            while (j < t.size() && t[j].text != ";") {
+                if (t[j].kind == Tok::Ident) {
+                    if (isUnorderedName(t[j].text))
+                        unordered = true;
+                    lastIdent = t[j].text;
+                }
+                ++j;
+            }
+            if (!unordered)
+                continue;
+            if (usingAlias)
+                unorderedTypes_.insert(t[i + 1].text);
+            else if (!lastIdent.empty())
+                unorderedTypes_.insert(lastIdent);
+            i = j;
+        }
+    }
+
+    /** Pass 1b: collect declared (un)ordered variable names. */
+    void
+    collectVars(const LexedFile &f)
+    {
+        const auto &t = f.toks;
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i].kind != Tok::Ident)
+                continue;
+            bool unordered = isUnorderedType(t, i);
+            bool ordered = !unordered && isOrderedType(t, i);
+            if (!unordered && !ordered)
+                continue;
+            std::size_t j = i + 1;
+            if (j < t.size() && t[j].text == "<") {
+                j = skipTemplateArgs(t, j);
+                if (j == 0)
+                    continue; // unmatched
+            }
+            // `std::unordered_map<..>::iterator` etc.: a nested-type
+            // use, not a declaration.
+            if (j < t.size() && t[j].text == "::")
+                continue;
+            while (j < t.size() &&
+                   (t[j].text == "const" || t[j].text == "&" ||
+                    t[j].text == "*"))
+                ++j;
+            if (j >= t.size() || t[j].kind != Tok::Ident)
+                continue;
+            const std::string &name = t[j].text;
+            std::size_t k = j + 1;
+            if (k >= t.size())
+                continue;
+            const std::string &after = t[k].text;
+            if (after == "[")
+                continue; // array of containers: iterating it is fine
+            if (after == "(") {
+                if (unordered)
+                    unorderedFuncs_.insert(name);
+                continue;
+            }
+            if (after == ";" || after == "=" || after == "{" ||
+                after == "," || after == ")") {
+                if (unordered) {
+                    unorderedVars_[f.path].insert(name);
+                    unorderedGlobal_.insert(name);
+                } else {
+                    orderedVars_[f.path].insert(name);
+                }
+            }
+        }
+    }
+
+    /** Pass 2: emit findings for one file. */
+    void
+    analyze(const LexedFile &f, std::vector<Finding> &out) const
+    {
+        std::vector<Finding> raw;
+        Suppressions supp = parseSuppressions(f, raw);
+        analyzeTokens(f, raw);
+        for (Finding &fd : raw) {
+            if (fd.rule != "SUPP" && supp.covers(fd.rule, fd.line))
+                continue;
+            if (fd.rule == "D4" && allowlisted(fd))
+                continue;
+            out.push_back(std::move(fd));
+        }
+    }
+
+  private:
+    std::set<std::string> unorderedTypes_ = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset"};
+    std::map<std::string, std::set<std::string>> unorderedVars_;
+    std::map<std::string, std::set<std::string>> orderedVars_;
+    std::set<std::string> unorderedGlobal_;
+    std::set<std::string> unorderedFuncs_;
+
+    static bool
+    isUnorderedName(const std::string &s)
+    {
+        return s == "unordered_map" || s == "unordered_set" ||
+               s == "unordered_multimap" || s == "unordered_multiset";
+    }
+
+    static bool
+    stdQualified(const std::vector<Token> &t, std::size_t i)
+    {
+        return i >= 2 && t[i - 1].text == "::" && t[i - 2].text == "std";
+    }
+
+    bool
+    isUnorderedType(const std::vector<Token> &t, std::size_t i) const
+    {
+        if (isUnorderedName(t[i].text))
+            return stdQualified(t, i);
+        // Alias names resolve without qualification.
+        return !isUnorderedName(t[i].text) &&
+               unorderedTypes_.count(t[i].text) != 0;
+    }
+
+    static bool
+    isOrderedType(const std::vector<Token> &t, std::size_t i)
+    {
+        const std::string &s = t[i].text;
+        bool container = s == "map" || s == "set" || s == "multimap" ||
+                         s == "multiset" || s == "vector" ||
+                         s == "deque" || s == "list" || s == "array" ||
+                         s == "string";
+        return container && stdQualified(t, i);
+    }
+
+    /** Skip `<...>`; returns index past the closing `>`, 0 if open. */
+    static std::size_t
+    skipTemplateArgs(const std::vector<Token> &t, std::size_t open)
+    {
+        int depth = 0;
+        for (std::size_t j = open; j < t.size(); ++j) {
+            if (t[j].text == "<")
+                ++depth;
+            else if (t[j].text == ">" && --depth == 0)
+                return j + 1;
+            else if (t[j].text == ";")
+                return 0; // statement ended: not a template after all
+        }
+        return 0;
+    }
+
+    bool
+    allowlisted(const Finding &fd) const
+    {
+        for (const std::string &entry : allowlist) {
+            std::size_t colon = entry.rfind(':');
+            if (colon == std::string::npos)
+                continue;
+            std::string path = entry.substr(0, colon);
+            std::string symbol = entry.substr(colon + 1);
+            if (symbol != fd.symbol)
+                continue;
+            if (fd.file == path)
+                return true;
+            if (fd.file.size() > path.size() &&
+                fd.file.compare(fd.file.size() - path.size(),
+                                path.size(), path) == 0 &&
+                fd.file[fd.file.size() - path.size() - 1] == '/')
+                return true;
+        }
+        return false;
+    }
+
+    bool
+    d4Applies(const std::string &path) const
+    {
+        if (d4Scope.empty())
+            return true;
+        if (path.compare(0, d4Scope.size(), d4Scope) == 0)
+            return true;
+        return path.find("/" + d4Scope) != std::string::npos;
+    }
+
+    // --- pass-2 walk ------------------------------------------------
+
+    enum class Scope { Namespace, Class, Enum, Function, Block };
+
+    void
+    analyzeTokens(const LexedFile &f, std::vector<Finding> &out) const
+    {
+        const auto &t = f.toks;
+        std::vector<Scope> scopes{Scope::Namespace};
+        std::vector<const Token *> stmt;
+        int parens = 0;
+
+        auto scope = [&] { return scopes.back(); };
+
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            const Token &tok = t[i];
+
+            checkD1(f, t, i, out);
+            checkD2Loop(f, t, i, out);
+            checkD2Begin(f, t, i, out);
+            checkD3(f, t, i, out);
+            checkD5(f, t, i, scope(), out);
+
+            if (tok.text == "(") {
+                ++parens;
+            } else if (tok.text == ")") {
+                parens = parens > 0 ? parens - 1 : 0;
+            } else if (tok.text == "{" && parens == 0) {
+                if (braceIsInitializer(stmt)) {
+                    // `Foo f = {..};` / `static Foo f{..};`: consume
+                    // the initializer whole so the declaration still
+                    // analyzes as one statement at the `;`.
+                    i = skipBalancedBraces(t, i);
+                    continue;
+                }
+                scopes.push_back(classifyBrace(stmt, scope()));
+                stmt.clear();
+                continue;
+            } else if (tok.text == "}" && parens == 0) {
+                if (scopes.size() > 1)
+                    scopes.pop_back();
+                stmt.clear();
+                continue;
+            } else if (tok.text == ";" && parens == 0) {
+                checkD4(f, stmt, scope(), out);
+                stmt.clear();
+                continue;
+            }
+            if (stmt.size() < 512)
+                stmt.push_back(&tok);
+        }
+    }
+
+    /**
+     * A `{` that begins an initializer rather than a scope: directly
+     * after `=`, or after a declarator name with no control keyword
+     * or parameter list in sight (`std::vector<int> v{1, 2};`).
+     */
+    static bool
+    braceIsInitializer(const std::vector<const Token *> &stmt)
+    {
+        if (stmt.empty())
+            return false;
+        if (stmt.back()->text == "=")
+            return true;
+        if (stmt.back()->kind != Tok::Ident || stmt.size() < 2)
+            return false;
+        static const char *kScopeWords[] = {
+            "(",      "do",    "else",      "try",    "if",
+            "for",    "while", "switch",    "catch",  "namespace",
+            "class",  "struct", "union",    "enum",   "extern",
+            "template", "operator"};
+        for (const Token *tok : stmt)
+            for (const char *kw : kScopeWords)
+                if (tok->text == kw)
+                    return false;
+        return true;
+    }
+
+    static std::size_t
+    skipBalancedBraces(const std::vector<Token> &t, std::size_t open)
+    {
+        int depth = 0;
+        for (std::size_t j = open; j < t.size(); ++j) {
+            if (t[j].text == "{")
+                ++depth;
+            else if (t[j].text == "}" && --depth == 0)
+                return j;
+        }
+        return t.size() - 1;
+    }
+
+    static Scope
+    classifyBrace(const std::vector<const Token *> &stmt, Scope current)
+    {
+        auto has = [&](const char *kw) {
+            return std::any_of(stmt.begin(), stmt.end(),
+                               [&](const Token *tok) {
+                                   return tok->text == kw;
+                               });
+        };
+        if (has("namespace") || has("extern"))
+            return Scope::Namespace;
+        if (has("enum"))
+            return Scope::Enum;
+        if (has("class") || has("struct") || has("union"))
+            return Scope::Class;
+        if (current == Scope::Function || current == Scope::Block)
+            return Scope::Block;
+        if (has("("))
+            return Scope::Function;
+        return Scope::Block;
+    }
+
+    // --- D1: banned nondeterminism sources --------------------------
+
+    void
+    checkD1(const LexedFile &f, const std::vector<Token> &t,
+            std::size_t i, std::vector<Finding> &out) const
+    {
+        if (t[i].kind != Tok::Ident)
+            return;
+        const std::string &s = t[i].text;
+        auto prevText = [&]() -> const std::string & {
+            static const std::string empty;
+            return i > 0 ? t[i - 1].text : empty;
+        };
+        auto flag = [&](const std::string &what) {
+            out.push_back(
+                {"D1", f.path, t[i].line, s,
+                 "banned nondeterminism source: " + what});
+        };
+
+        // Banned wherever they appear, member access included.
+        static const std::set<std::string> kAlways = {
+            "random_device",          "system_clock",
+            "steady_clock",           "high_resolution_clock",
+            "sleep_for",              "sleep_until",
+            "gettimeofday",           "clock_gettime",
+            "timespec_get"};
+        if (kAlways.count(s) != 0) {
+            flag("'" + s +
+                 "' (host time/entropy must not reach the simulator; "
+                 "use seeded sim::Rng / simulated ticks)");
+            return;
+        }
+
+        // Banned as free-function calls. Skip member calls (x.time())
+        // and calls qualified into a non-std namespace.
+        static const std::set<std::string> kCalls = {
+            "rand",    "srand",   "random",  "drand48", "lrand48",
+            "srand48", "time",    "clock",   "usleep",  "nanosleep",
+            "sleep"};
+        bool called = i + 1 < t.size() && t[i + 1].text == "(";
+        const std::string &prev = prevText();
+        bool member = prev == "." || prev == "->";
+        bool foreignNs = prev == "::" && i >= 2 &&
+                         t[i - 2].kind == Tok::Ident &&
+                         t[i - 2].text != "std";
+        if (s == "getenv") {
+            if (!member)
+                flag("raw 'getenv' (route environment reads through "
+                     "the annotated sim::env entry point)");
+            return;
+        }
+        if (kCalls.count(s) != 0 && called && !member && !foreignNs)
+            flag("call to '" + s + "'");
+    }
+
+    // --- D2: hash-order iteration -----------------------------------
+
+    bool
+    nameIsUnordered(const std::string &file,
+                    const std::string &name) const
+    {
+        auto here = unorderedVars_.find(file);
+        if (here != unorderedVars_.end() &&
+            here->second.count(name) != 0)
+            return true;
+        auto ordered = orderedVars_.find(file);
+        if (ordered != orderedVars_.end() &&
+            ordered->second.count(name) != 0)
+            return false; // a local ordered decl wins over collisions
+        return unorderedGlobal_.count(name) != 0;
+    }
+
+    void
+    checkD2Loop(const LexedFile &f, const std::vector<Token> &t,
+                std::size_t i, std::vector<Finding> &out) const
+    {
+        if (t[i].text != "for" || i + 1 >= t.size() ||
+            t[i + 1].text != "(")
+            return;
+        int depth = 0;
+        std::size_t colon = 0, close = 0;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+            if (t[j].text == "(") {
+                ++depth;
+            } else if (t[j].text == ")") {
+                if (--depth == 0) {
+                    close = j;
+                    break;
+                }
+            } else if (t[j].text == ":" && depth == 1 && colon == 0) {
+                colon = j;
+            }
+        }
+        if (close == 0 || colon == 0)
+            return; // classic for or unterminated
+        auto flag = [&](const std::string &name) {
+            out.push_back(
+                {"D2", f.path, t[i].line, name,
+                 "range-for over unordered container '" + name +
+                     "' iterates in hash order; use std::map, a "
+                     "sorted copy, or suppress with an "
+                     "order-insensitivity argument"});
+        };
+        // Inline-constructed or explicitly-typed unordered range.
+        for (std::size_t j = colon + 1; j < close; ++j) {
+            if (t[j].kind == Tok::Ident &&
+                unorderedTypes_.count(t[j].text) != 0) {
+                flag(t[j].text);
+                return;
+            }
+        }
+        // Terminal symbol of the range expression.
+        const Token &last = t[close - 1];
+        if (last.kind == Tok::Ident) {
+            if (nameIsUnordered(f.path, last.text))
+                flag(last.text);
+            return;
+        }
+        if (last.text == ")") {
+            int d = 0;
+            for (std::size_t j = close - 1; j > colon; --j) {
+                if (t[j].text == ")")
+                    ++d;
+                else if (t[j].text == "(" && --d == 0) {
+                    if (j > colon + 1 &&
+                        t[j - 1].kind == Tok::Ident &&
+                        unorderedFuncs_.count(t[j - 1].text) != 0)
+                        flag(t[j - 1].text + "()");
+                    return;
+                }
+            }
+        }
+    }
+
+    void
+    checkD2Begin(const LexedFile &f, const std::vector<Token> &t,
+                 std::size_t i, std::vector<Finding> &out) const
+    {
+        if (t[i].kind != Tok::Ident || i + 2 >= t.size() ||
+            t[i + 1].text != "." ||
+            (t[i + 2].text != "begin" && t[i + 2].text != "cbegin"))
+            return;
+        if (!nameIsUnordered(f.path, t[i].text))
+            return;
+        out.push_back(
+            {"D2", f.path, t[i].line, t[i].text,
+             "iterator traversal of unordered container '" + t[i].text +
+                 "' walks in hash order"});
+    }
+
+    // --- D3: pointer-order hazards ----------------------------------
+
+    void
+    checkD3(const LexedFile &f, const std::vector<Token> &t,
+            std::size_t i, std::vector<Finding> &out) const
+    {
+        if (t[i].kind != Tok::Ident || !stdQualified(t, i))
+            return;
+        const std::string &s = t[i].text;
+        bool orderedContainer = s == "map" || s == "set" ||
+                                s == "multimap" || s == "multiset";
+        bool comparator = s == "less" || s == "greater";
+        if ((!orderedContainer && !comparator) || i + 1 >= t.size() ||
+            t[i + 1].text != "<")
+            return;
+        // Examine the first template argument (the key / compared
+        // type): a trailing `*` means ordering by allocation address.
+        int depth = 0;
+        std::size_t lastReal = 0;
+        for (std::size_t j = i + 1; j < t.size(); ++j) {
+            const std::string &x = t[j].text;
+            if (x == "<") {
+                ++depth;
+            } else if (x == ">") {
+                if (--depth == 0)
+                    break;
+            } else if (x == "," && depth == 1) {
+                break;
+            } else if (x == ";") {
+                return;
+            } else if (x != "const") {
+                lastReal = j;
+            }
+        }
+        if (lastReal != 0 && t[lastReal].text == "*") {
+            out.push_back(
+                {"D3", f.path, t[i].line, "std::" + s,
+                 (orderedContainer
+                      ? "pointer key in ordered container 'std::" + s +
+                            "' orders by allocation address"
+                      : "'std::" + s +
+                            "' over pointers compares allocation "
+                            "addresses") +
+                     ", which varies across runs"});
+        }
+    }
+
+    // --- D4: mutable static state -----------------------------------
+
+    void
+    checkD4(const LexedFile &f,
+            const std::vector<const Token *> &stmt, Scope scope,
+            std::vector<Finding> &out) const
+    {
+        if (stmt.empty() || !d4Applies(f.path))
+            return;
+        auto has = [&](const char *kw) {
+            return std::any_of(stmt.begin(), stmt.end(),
+                               [&](const Token *tok) {
+                                   return tok->text == kw;
+                               });
+        };
+        if (has("const") || has("constexpr") || has("constinit") ||
+            has("consteval"))
+            return;
+        auto symbolOf = [&]() -> const Token * {
+            const Token *last = nullptr;
+            for (const Token *tok : stmt) {
+                if (tok->text == "=")
+                    break;
+                if (tok->kind == Tok::Ident)
+                    last = tok;
+            }
+            return last;
+        };
+        if (scope == Scope::Namespace) {
+            static const char *kSkip[] = {
+                "using",  "typedef",   "extern",        "friend",
+                "template", "static_assert", "struct", "class",
+                "enum",   "union",     "namespace",     "operator",
+                "concept", "requires", "("};
+            for (const char *kw : kSkip)
+                if (has(kw))
+                    return;
+            const Token *sym = symbolOf();
+            if (sym == nullptr)
+                return;
+            out.push_back(
+                {"D4", f.path, sym->line, sym->text,
+                 "mutable namespace-scope state '" + sym->text +
+                     "' (jobs must own their state; allowlist only "
+                     "with a synchronization story)"});
+            return;
+        }
+        if (!has("static"))
+            return;
+        if (scope == Scope::Class) {
+            if (has("(") || has("using") || has("typedef"))
+                return; // static member function / alias
+            const Token *sym = symbolOf();
+            if (sym == nullptr)
+                return;
+            out.push_back({"D4", f.path, sym->line, sym->text,
+                           "mutable static class member '" +
+                               sym->text + "'"});
+            return;
+        }
+        if (scope == Scope::Function || scope == Scope::Block) {
+            const Token *sym = symbolOf();
+            if (sym == nullptr)
+                return;
+            out.push_back({"D4", f.path, sym->line, sym->text,
+                           "mutable function-local static '" +
+                               sym->text + "'"});
+        }
+    }
+
+    // --- D5: unseeded RNG construction ------------------------------
+
+    void
+    checkD5(const LexedFile &f, const std::vector<Token> &t,
+            std::size_t i, Scope scope,
+            std::vector<Finding> &out) const
+    {
+        if (t[i].kind != Tok::Ident)
+            return;
+        static const std::set<std::string> kEngines = {
+            "mt19937",        "mt19937_64",
+            "minstd_rand",    "minstd_rand0",
+            "default_random_engine", "knuth_b",
+            "ranlux24",       "ranlux24_base",
+            "ranlux48",       "ranlux48_base",
+            "Rng"};
+        if (kEngines.count(t[i].text) == 0)
+            return;
+        if (i > 0 &&
+            (t[i - 1].text == "class" || t[i - 1].text == "struct" ||
+             t[i - 1].text == "." || t[i - 1].text == "->"))
+            return;
+        if (i + 1 >= t.size())
+            return;
+        auto flag = [&](unsigned line, const std::string &sym) {
+            out.push_back(
+                {"D5", f.path, line, sym,
+                 "RNG engine '" + t[i].text +
+                     "' constructed without an explicit seed "
+                     "expression; every engine must be seeded from a "
+                     "parameter"});
+        };
+        const std::string &n1 = t[i + 1].text;
+        if (n1 == "::" || n1 == "&" || n1 == "*" || n1 == "<")
+            return; // qualified use, reference/pointer, template
+        // Temporary: `Rng()` / `Rng{}`.
+        if ((n1 == "(" || n1 == "{") && i + 2 < t.size() &&
+            t[i + 2].text == (n1 == "(" ? ")" : "}")) {
+            flag(t[i].line, t[i].text);
+            return;
+        }
+        if (t[i + 1].kind != Tok::Ident)
+            return;
+        if (i + 2 >= t.size())
+            return;
+        const std::string &n2 = t[i + 2].text;
+        if (n2 == ";") {
+            // Members are seeded in constructor initializer lists,
+            // which this pass cannot see; locals and globals have no
+            // such excuse.
+            if (scope != Scope::Class)
+                flag(t[i + 1].line, t[i + 1].text);
+            return;
+        }
+        if (n2 == "{" && i + 3 < t.size() && t[i + 3].text == "}") {
+            flag(t[i + 1].line, t[i + 1].text);
+            return;
+        }
+        // `Rng r(seed)` / `Rng r{seed}` / params / references: fine.
+    }
+};
+
+} // namespace jord::detlint
+
+#endif // JORD_TOOLS_DETLINT_ANALYZER_HH

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Minimal C++ tokenizer for detlint.
+ *
+ * Produces a flat token stream (identifiers, literals, punctuation)
+ * plus the comment list, which carries the suppression annotations
+ * (see analyzer.hh). Preprocessor directives are consumed whole:
+ * detlint analyzes the source as written, not as expanded, so code
+ * living inside macros is out of scope by design (the repo defines no
+ * function-style macros that construct containers or RNGs).
+ *
+ * The lexer is deliberately forgiving — it never rejects input — so a
+ * half-edited file still lints instead of aborting the whole run.
+ */
+
+#ifndef JORD_TOOLS_DETLINT_LEXER_HH
+#define JORD_TOOLS_DETLINT_LEXER_HH
+
+#include <string>
+#include <vector>
+
+namespace jord::detlint {
+
+enum class Tok { Ident, Number, String, Char, Punct };
+
+struct Token {
+    Tok kind;
+    std::string text;
+    unsigned line;
+};
+
+/** One comment, kept for suppression parsing. */
+struct Comment {
+    std::string text;
+    unsigned line; ///< line the comment starts on
+    /** Number of newlines inside the comment (block comments). */
+    unsigned extraLines = 0;
+};
+
+struct LexedFile {
+    std::string path;
+    std::vector<Token> toks;
+    std::vector<Comment> comments;
+};
+
+inline bool
+isIdentStart(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+inline bool
+isIdentChar(char c)
+{
+    return isIdentStart(c) || (c >= '0' && c <= '9');
+}
+
+inline bool
+isDigit(char c)
+{
+    return c >= '0' && c <= '9';
+}
+
+/** Tokenize @p src; @p path is carried through for diagnostics. */
+inline LexedFile
+lex(const std::string &path, const std::string &src)
+{
+    LexedFile out;
+    out.path = path;
+    std::size_t i = 0;
+    const std::size_t n = src.size();
+    unsigned line = 1;
+    bool lineHasCode = false;
+
+    auto push = [&](Tok kind, std::string text) {
+        out.toks.push_back({kind, std::move(text), line});
+        lineHasCode = true;
+    };
+    auto newline = [&] {
+        ++line;
+        lineHasCode = false;
+    };
+
+    while (i < n) {
+        char c = src[i];
+        if (c == '\n') {
+            newline();
+            ++i;
+            continue;
+        }
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\v' ||
+            c == '\f') {
+            ++i;
+            continue;
+        }
+        // Preprocessor directive: consume the logical line whole,
+        // honoring backslash continuations.
+        if (c == '#' && !lineHasCode) {
+            while (i < n) {
+                if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+                    newline();
+                    i += 2;
+                    continue;
+                }
+                if (src[i] == '\n')
+                    break;
+                ++i;
+            }
+            continue;
+        }
+        // Line comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+            std::size_t start = i;
+            while (i < n && src[i] != '\n')
+                ++i;
+            out.comments.push_back(
+                {src.substr(start, i - start), line, 0});
+            continue;
+        }
+        // Block comment.
+        if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+            std::size_t start = i;
+            unsigned startLine = line;
+            unsigned extra = 0;
+            i += 2;
+            while (i + 1 < n &&
+                   !(src[i] == '*' && src[i + 1] == '/')) {
+                if (src[i] == '\n') {
+                    newline();
+                    ++extra;
+                }
+                ++i;
+            }
+            i = i + 1 < n ? i + 2 : n;
+            out.comments.push_back(
+                {src.substr(start, i - start), startLine, extra});
+            continue;
+        }
+        // Identifier, possibly a literal prefix (R"..", u8'...').
+        if (isIdentStart(c)) {
+            std::size_t start = i;
+            while (i < n && isIdentChar(src[i]))
+                ++i;
+            std::string ident = src.substr(start, i - start);
+            bool rawPrefix = i < n && src[i] == '"' &&
+                             !ident.empty() && ident.back() == 'R' &&
+                             (ident == "R" || ident == "LR" ||
+                              ident == "uR" || ident == "UR" ||
+                              ident == "u8R");
+            bool litPrefix = i < n && (src[i] == '"' || src[i] == '\'') &&
+                             (ident == "u8" || ident == "u" ||
+                              ident == "U" || ident == "L");
+            if (rawPrefix) {
+                // R"delim( ... )delim"
+                ++i; // past the quote
+                std::size_t dstart = i;
+                while (i < n && src[i] != '(')
+                    ++i;
+                std::string delim = src.substr(dstart, i - dstart);
+                std::string close = ")" + delim + "\"";
+                std::size_t end = src.find(close, i);
+                std::size_t stop =
+                    end == std::string::npos ? n : end + close.size();
+                for (std::size_t k = i; k < stop && k < n; ++k)
+                    if (src[k] == '\n')
+                        newline();
+                i = stop;
+                push(Tok::String, "<raw-string>");
+                continue;
+            }
+            if (!litPrefix) {
+                push(Tok::Ident, std::move(ident));
+                continue;
+            }
+            c = src[i]; // fall through into the literal scanners
+        }
+        // String literal.
+        if (c == '"') {
+            ++i;
+            while (i < n && src[i] != '"') {
+                if (src[i] == '\\' && i + 1 < n)
+                    ++i;
+                else if (src[i] == '\n')
+                    newline();
+                ++i;
+            }
+            i = i < n ? i + 1 : n;
+            push(Tok::String, "<string>");
+            continue;
+        }
+        // Character literal.
+        if (c == '\'') {
+            ++i;
+            while (i < n && src[i] != '\'') {
+                if (src[i] == '\\' && i + 1 < n)
+                    ++i;
+                ++i;
+            }
+            i = i < n ? i + 1 : n;
+            push(Tok::Char, "<char>");
+            continue;
+        }
+        // Number (integer, float, hex, digit separators, exponents).
+        if (isDigit(c) || (c == '.' && i + 1 < n && isDigit(src[i + 1]))) {
+            std::size_t start = i;
+            while (i < n) {
+                char d = src[i];
+                if (isIdentChar(d) || d == '.' || d == '\'') {
+                    ++i;
+                } else if ((d == '+' || d == '-') && i > start &&
+                           (src[i - 1] == 'e' || src[i - 1] == 'E' ||
+                            src[i - 1] == 'p' || src[i - 1] == 'P')) {
+                    ++i;
+                } else {
+                    break;
+                }
+            }
+            push(Tok::Number, src.substr(start, i - start));
+            continue;
+        }
+        // Punctuation; only `::` and `->` matter as multi-char units.
+        if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+            push(Tok::Punct, "::");
+            i += 2;
+            continue;
+        }
+        if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+            push(Tok::Punct, "->");
+            i += 2;
+            continue;
+        }
+        push(Tok::Punct, std::string(1, c));
+        ++i;
+    }
+    return out;
+}
+
+} // namespace jord::detlint
+
+#endif // JORD_TOOLS_DETLINT_LEXER_HH

@@ -31,7 +31,6 @@
 #include <fstream>
 #include <map>
 #include <string>
-#include <unordered_map>
 
 #include "sim/logging.hh"
 #include "trace/integrity.hh"
@@ -112,7 +111,8 @@ main(int argc, char **argv)
         jord::sim::fatal("cannot open '%s'", path.c_str());
 
     std::map<std::uint64_t, ReqLifecycle> reqs;
-    std::unordered_map<std::uint64_t, OpenSpan> open;
+    // std::map so still-open spans print in span-id order at the end.
+    std::map<std::uint64_t, OpenSpan> open;
     std::uint64_t spanLines = 0;
 
     std::string line, ph, name;
