@@ -4,6 +4,7 @@
 #include <cmath>
 #include <optional>
 
+#include "obs/obs.hh"
 #include "sim/logging.hh"
 #include "trace/metrics.hh"
 
@@ -191,6 +192,9 @@ ClusterSim::onArrival(const Arrival &arrival)
             ++breakerShed_;
         if (inWindow(arrival.tick))
             ++tenantShed_[arrival.tenant];
+        if (obs_)
+            obs_->onShed(arrival.tick, arrival.tenant, s,
+                         breaker_open);
         return;
     }
     std::uint64_t id = nextReqId_++;
@@ -198,6 +202,9 @@ ClusterSim::onArrival(const Arrival &arrival)
     req.arrival = arrival.tick;
     req.tenant = arrival.tenant;
     req.session = arrival.session;
+    if (obs_)
+        obs_->onArrival(arrival.tick, id, arrival.tenant, s,
+                        inWindow(arrival.tick));
     dispatchCopy(id, 0, s);
     if (hedgeTicks_ > 0) {
         req.hedgeEv = events_.scheduleAfter(
@@ -216,6 +223,8 @@ ClusterSim::dispatchCopy(std::uint64_t id, unsigned copy,
     accrueOccupancy();
     ++outstanding_[s];
     ++totalOutstanding_;
+    if (obs_)
+        obs_->onOutstanding(events_.curTick(), s, outstanding_[s]);
     if (injector_.enabled()) {
         unsigned attempt = req.attempt;
         if (servers_[s].down ||
@@ -224,6 +233,8 @@ ClusterSim::dispatchCopy(std::uint64_t id, unsigned copy,
             // link); the LB only learns at the failure-detection
             // timeout, so the copy holds its outstanding slot until
             // then.
+            if (obs_ && !servers_[s].down)
+                obs_->onLinkDrop(events_.curTick(), id, s);
             c.state = CopyLost;
             c.ev = events_.scheduleAfter(
                 failDetectTicks_,
@@ -232,6 +243,8 @@ ClusterSim::dispatchCopy(std::uint64_t id, unsigned copy,
             return;
         }
         if (injector_.linkDelay(id, attempt, copy)) {
+            if (obs_)
+                obs_->onLinkDelay(events_.curTick(), id, s);
             c.state = CopyInFlight;
             c.ev = events_.scheduleAfter(
                 sim::usToCycles(injector_.rates().linkDelayUs,
@@ -271,6 +284,8 @@ ClusterSim::enqueueCopy(std::uint64_t id, unsigned copy,
     servers_[s].queue.push_back(
         QEntry{id, static_cast<std::uint8_t>(copy)});
     ++req.refs;
+    if (obs_)
+        obs_->onQueue(events_.curTick(), id, copy, s);
     tryStart(s);
 }
 
@@ -319,6 +334,9 @@ ClusterSim::tryStart(std::uint32_t s)
             cold_us;
         ++server.running;
         c.state = CopyRunning;
+        if (obs_)
+            obs_->onStart(now, entry.id, entry.copy, s, req.tenant,
+                          cold_us > 0);
         c.ev = events_.scheduleAfter(
             sim::usToCycles(service_us, freqGhz_),
             [this, id = entry.id, copy = entry.copy] {
@@ -346,6 +364,8 @@ ClusterSim::copyCompleted(std::uint64_t id, unsigned copy)
     --server.running;
     --outstanding_[s];
     --totalOutstanding_;
+    if (obs_)
+        obs_->onOutstanding(now, s, outstanding_[s]);
     ++server.completed;
     req.done = true;
     if (copy == 1)
@@ -387,6 +407,11 @@ ClusterSim::copyCompleted(std::uint64_t id, unsigned copy)
         req.hedgeEv = 0;
     }
     resolveLoser(id, 1 - copy);
+    if (obs_)
+        obs_->onComplete(now, id, copy, s, req.tenant,
+                         static_cast<std::uint64_t>(sim::cyclesToNs(
+                             now - req.arrival, freqGhz_)),
+                         latency_us > tenant_slo);
 
     tryStart(s);
     if (!server.inFleet && outstanding_[s] == 0 && server.poweredOn)
@@ -417,6 +442,11 @@ ClusterSim::resolveLoser(std::uint64_t id, unsigned copy)
         accrueOccupancy();
         --outstanding_[c.server];
         --totalOutstanding_;
+        if (obs_) {
+            obs_->onOutstanding(events_.curTick(), c.server,
+                                outstanding_[c.server]);
+            obs_->onHedgeLoser(events_.curTick(), id, copy, c.server);
+        }
         break;
     case CopyInFlight:
         if (events_.cancel(c.ev))
@@ -425,6 +455,11 @@ ClusterSim::resolveLoser(std::uint64_t id, unsigned copy)
         accrueOccupancy();
         --outstanding_[c.server];
         --totalOutstanding_;
+        if (obs_) {
+            obs_->onOutstanding(events_.curTick(), c.server,
+                                outstanding_[c.server]);
+            obs_->onHedgeLoser(events_.curTick(), id, copy, c.server);
+        }
         break;
     case CopyRunning: {
         // Cancellation frees the executor mid-request: the winning
@@ -444,6 +479,11 @@ ClusterSim::resolveLoser(std::uint64_t id, unsigned copy)
         --loser.running;
         --outstanding_[c.server];
         --totalOutstanding_;
+        if (obs_) {
+            obs_->onOutstanding(events_.curTick(), c.server,
+                                outstanding_[c.server]);
+            obs_->onHedgeLoser(events_.curTick(), id, copy, c.server);
+        }
         loser.warm[req.tenant].push_back(events_.curTick() +
                                          keepAliveTicks_);
         tryStart(c.server);
@@ -469,6 +509,8 @@ ClusterSim::copyFailed(std::uint64_t id, unsigned copy)
     accrueOccupancy();
     --outstanding_[s];
     --totalOutstanding_;
+    if (obs_)
+        obs_->onOutstanding(events_.curTick(), s, outstanding_[s]);
     if (req.done) {
         // The hedge twin already completed; this was only the LB
         // noticing the lost copy and releasing its slot.
@@ -500,6 +542,8 @@ ClusterSim::copyFailed(std::uint64_t id, unsigned copy)
         } else {
             ++retries_;
             ++req.attempt;
+            if (obs_)
+                obs_->onRetry(events_.curTick(), id, req.attempt, t);
             req.copies[0] = Copy{};
             dispatchCopy(id, 0, t);
             checkRecovered();
@@ -512,6 +556,8 @@ ClusterSim::copyFailed(std::uint64_t id, unsigned copy)
     ++tenantFailed_[req.tenant];
     if (inWindow(req.arrival))
         ++failedWindow_;
+    if (obs_)
+        obs_->onFailed(events_.curTick(), id, req.tenant, s);
     checkRecovered();
     maybeFree(id);
 }
@@ -565,6 +611,8 @@ ClusterSim::hedgeFire(std::uint64_t id)
         return;
     }
     ++hedges_;
+    if (obs_)
+        obs_->onHedge(now, id, s);
     dispatchCopy(id, 1, s);
 }
 
@@ -608,6 +656,8 @@ ClusterSim::crashServer(std::uint32_t s)
     if (!server.poweredOn || server.down)
         return;
     ++crashes_;
+    if (obs_)
+        obs_->onCrash(events_.curTick(), s);
     if (firstCrashTick_ == kNoTick) {
         firstCrashTick_ = events_.curTick();
         outstandingAtCrash_ = totalOutstanding_;
@@ -673,6 +723,8 @@ ClusterSim::restartServer(std::uint32_t s)
     server.down = false;
     --downCount_;
     ++restarts_;
+    if (obs_)
+        obs_->onRestart(events_.curTick(), s);
     server.missedBeats = 0;
     // The snapshot restore we just paid for brings the pools back.
     if (server.poweredOn)
@@ -763,6 +815,39 @@ ClusterSim::maybeFree(std::uint64_t id)
     auto it = table_.find(id);
     if (it != table_.end() && it->second.refs == 0)
         table_.erase(it);
+}
+
+void
+ClusterSim::obsSnapshot(std::vector<obs::ServerSnapshot> &snap) const
+{
+    sim::Tick now = events_.curTick();
+    snap.clear();
+    snap.reserve(maxServers_);
+    for (std::uint32_t s = 0; s < maxServers_; ++s) {
+        const Server &server = servers_[s];
+        obs::ServerSnapshot entry;
+        entry.queued =
+            static_cast<std::uint32_t>(server.queue.size());
+        entry.running = server.running;
+        // Expiries are ascending; count the live tail without
+        // mutating the pools.
+        for (const auto &pool : server.warm)
+            entry.warmSlots += static_cast<std::uint64_t>(
+                pool.end() -
+                std::lower_bound(pool.begin(), pool.end(), now));
+        snap.push_back(entry);
+    }
+}
+
+void
+ClusterSim::obsTick()
+{
+    std::vector<obs::ServerSnapshot> snap;
+    obsSnapshot(snap);
+    obs_->flushWindow(events_.curTick(), snap);
+    if (!arrivalsDone_ || totalOutstanding_ > 0)
+        events_.scheduleAfter(obs_->windowTicks(),
+                              [this] { obsTick(); });
 }
 
 void
@@ -885,9 +970,35 @@ ClusterSim::run()
             sim::usToCycles(res_.heartbeatUs, freqGhz_),
             [this] { heartbeatTick(); });
     scheduleFaultEvents();
+    if (obs_) {
+        if (obs_->config().windowed())
+            events_.scheduleAfter(obs_->windowTicks(),
+                                  [this] { obsTick(); });
+        // Gray ground truth is a pure replay of the injector's hash
+        // decisions, so it can be enumerated up front.
+        if (injector_.enabled() && windowTicks_ > 0) {
+            std::uint64_t windows =
+                source_.durationTicks() / windowTicks_ + 1;
+            for (const fault::GrayIncident &gray :
+                 injector_.grayIncidents(maxServers_, windows))
+                obs_->onGrayRun(gray.beginWindow * windowTicks_,
+                                gray.endWindow * windowTicks_,
+                                gray.server);
+        } else if (injector_.enabled() &&
+                   injector_.rates().grayServer >= 0) {
+            obs_->onGrayRun(0, source_.durationTicks(),
+                            static_cast<std::uint32_t>(
+                                injector_.rates().grayServer));
+        }
+    }
     events_.run();
 
     sim::Tick end = events_.curTick();
+    if (obs_) {
+        std::vector<obs::ServerSnapshot> snap;
+        obsSnapshot(snap);
+        obs_->finalize(end, snap);
+    }
     for (std::uint32_t s = 0; s < maxServers_; ++s)
         if (servers_[s].poweredOn) {
             servers_[s].poweredTicks += end - servers_[s].poweredOnAt;
@@ -985,11 +1096,14 @@ ClusterSim::run()
 
 ClusterResult
 runCluster(const workloads::Workload &workload,
-           const ClusterConfig &cfg, par::ThreadPool *pool)
+           const ClusterConfig &cfg, par::ThreadPool *pool,
+           obs::FleetObserver *obs)
 {
     ServerModel model =
         calibrateServer(workload, cfg.worker, cfg.calibration, pool);
     ClusterSim sim(cfg, model);
+    if (obs)
+        sim.setObserver(obs);
     return sim.run();
 }
 

@@ -55,6 +55,11 @@ namespace jord::trace {
 class MetricsRegistry;
 } // namespace jord::trace
 
+namespace jord::obs {
+class FleetObserver;
+struct ServerSnapshot;
+} // namespace jord::obs
+
 namespace jord::cluster {
 
 /** Autoscaling-controller policy (hysteresis via distinct high/low
@@ -253,6 +258,14 @@ class ClusterSim
     ClusterSim(const ClusterSim &) = delete;
     ClusterSim &operator=(const ClusterSim &) = delete;
 
+    /**
+     * Attach the observability plane (must happen before run()). Null
+     * by default; every instrumentation site is one pointer test, so
+     * an unobserved run is byte-identical to a build without the
+     * plane.
+     */
+    void setObserver(obs::FleetObserver *obs) { obs_ = obs; }
+
     ClusterResult run();
 
   private:
@@ -361,6 +374,13 @@ class ClusterSim
     bool breakerOpen(std::uint32_t s, std::uint32_t tenant) const;
     void breakerResult(std::uint32_t s, std::uint32_t tenant, bool ok);
     void controlTick();
+    /** Telemetry window boundary: snapshot the fleet, flush, and
+     * reschedule while work remains. */
+    void obsTick();
+    /** Instantaneous per-server queue/running/warm-slot state for the
+     * observer (non-mutating: expired warm slots are counted out, not
+     * popped). */
+    void obsSnapshot(std::vector<obs::ServerSnapshot> &snap) const;
     void accrueOccupancy();
     void powerOn(std::uint32_t s);
     void beginDrain(std::uint32_t s);
@@ -392,6 +412,7 @@ class ClusterSim
     sim::Rng lbRng_;
     sim::Rng serviceRng_;
     fault::ClusterFaultInjector injector_;
+    obs::FleetObserver *obs_ = nullptr;
 
     std::vector<Server> servers_;
     /** Fleet membership for the LB, ascending server ids. */
@@ -458,7 +479,8 @@ class ClusterSim
  */
 ClusterResult runCluster(const workloads::Workload &workload,
                          const ClusterConfig &cfg,
-                         par::ThreadPool *pool);
+                         par::ThreadPool *pool,
+                         obs::FleetObserver *obs = nullptr);
 
 /**
  * Register a finished fleet run's statistics into @p registry. Every

@@ -419,6 +419,32 @@ ClusterFaultInjector::grayWindow(std::uint32_t server,
     return rates_.gray > 0 && u(server, window, 2) < rates_.gray;
 }
 
+std::vector<GrayIncident>
+ClusterFaultInjector::grayIncidents(std::uint32_t num_servers,
+                                    std::uint64_t num_windows) const
+{
+    std::vector<GrayIncident> runs;
+    if (!enabled_ || (rates_.gray <= 0 && rates_.grayServer < 0))
+        return runs;
+    for (std::uint32_t s = 0; s < num_servers; ++s) {
+        bool open = false;
+        std::uint64_t begin = 0;
+        for (std::uint64_t w = 0; w < num_windows; ++w) {
+            bool gray = grayWindow(s, w);
+            if (gray && !open) {
+                open = true;
+                begin = w;
+            } else if (!gray && open) {
+                open = false;
+                runs.push_back(GrayIncident{s, begin, w});
+            }
+        }
+        if (open)
+            runs.push_back(GrayIncident{s, begin, num_windows});
+    }
+    return runs;
+}
+
 bool
 ClusterFaultInjector::linkDrop(std::uint64_t req_id, unsigned attempt,
                                unsigned copy) const

@@ -219,6 +219,15 @@ class FaultInjector
                       unsigned site) const;
 };
 
+/** One contiguous gray run: @ref server is gray for every hazard
+ * window in [beginWindow, endWindow). A scripted gray_server shows up
+ * as one run spanning the whole horizon. */
+struct GrayIncident {
+    std::uint32_t server = 0;
+    std::uint64_t beginWindow = 0;
+    std::uint64_t endWindow = 0;
+};
+
 /**
  * The plan's fleet-scope rates resolved for one cluster run. Like
  * FaultInjector, every answer is a pure hash — (seed, server, hazard
@@ -257,6 +266,17 @@ class ClusterFaultInjector
     /** Is this dispatch copy's LB->server message delayed? */
     bool linkDelay(std::uint64_t req_id, unsigned attempt,
                    unsigned copy) const;
+
+    /**
+     * Enumerate every gray run the plan fires over the first
+     * @p num_windows hazard windows: a pure replay of grayWindow()
+     * with adjacent gray windows on one server merged, ordered by
+     * (server, beginWindow). This is exactly the ground truth the
+     * observability plane logs as gray incidents.
+     */
+    std::vector<GrayIncident>
+    grayIncidents(std::uint32_t num_servers,
+                  std::uint64_t num_windows) const;
 
   private:
     bool enabled_ = false;

@@ -1,0 +1,354 @@
+#include "obs/monitor.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace jord::obs {
+
+namespace {
+
+/** Split one CSV line (no quoting in our artifacts). */
+std::vector<std::string>
+splitCsv(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+double
+toDouble(const std::string &field)
+{
+    return field.empty() ? 0.0 : std::strtod(field.c_str(), nullptr);
+}
+
+std::uint64_t
+toU64(const std::string &field)
+{
+    return field.empty()
+               ? 0
+               : std::strtoull(field.c_str(), nullptr, 10);
+}
+
+/** [a0, a1) overlaps [b0, b1]? */
+bool
+overlaps(double a0, double a1, double b0, double b1)
+{
+    return a0 <= b1 && a1 > b0;
+}
+
+} // namespace
+
+std::vector<MonWindow>
+parseWindowsCsv(std::istream &in, const std::string &what)
+{
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.rfind("window,start_us,end_us,server,tenant,", 0) != 0)
+        sim::fatal("%s: not a jordsim obs windows CSV (bad header)",
+                   what.c_str());
+    std::vector<MonWindow> rows;
+    std::size_t lineno = 1;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::vector<std::string> f = splitCsv(line);
+        if (f.size() != 16)
+            sim::fatal("%s:%zu: expected 16 fields, got %zu",
+                       what.c_str(), lineno, f.size());
+        MonWindow row;
+        row.window = toU64(f[0]);
+        row.startUs = toDouble(f[1]);
+        row.endUs = toDouble(f[2]);
+        row.server = static_cast<int>(toU64(f[3]));
+        row.tenant = f[4];
+        row.arrivals = toU64(f[5]);
+        row.completions = toU64(f[6]);
+        row.shed = toU64(f[7]);
+        row.failed = toU64(f[8]);
+        row.sloMiss = toU64(f[9]);
+        row.coldStarts = toU64(f[10]);
+        row.warmSlots = toU64(f[11]);
+        row.queueDepth = toDouble(f[12]);
+        row.occupancy = toDouble(f[13]);
+        row.p50Us = toDouble(f[14]);
+        row.p99Us = toDouble(f[15]);
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+std::vector<MonEvent>
+parseEventsCsv(std::istream &in, const std::string &what)
+{
+    std::string line;
+    if (!std::getline(in, line) ||
+        line.rfind("time_us,end_us,kind,server,tenant,value", 0) != 0)
+        sim::fatal("%s: not a jordsim obs events CSV (bad header)",
+                   what.c_str());
+    std::vector<MonEvent> events;
+    std::size_t lineno = 1;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        std::vector<std::string> f = splitCsv(line);
+        if (f.size() != 6)
+            sim::fatal("%s:%zu: expected 6 fields, got %zu",
+                       what.c_str(), lineno, f.size());
+        MonEvent event;
+        event.timeUs = toDouble(f[0]);
+        event.endUs = toDouble(f[1]);
+        event.kind = f[2];
+        event.server = f[3].empty()
+                           ? -1
+                           : static_cast<int>(toU64(f[3]));
+        event.tenant = f[4];
+        event.value = toDouble(f[5]);
+        events.push_back(std::move(event));
+    }
+    return events;
+}
+
+MonReport
+buildReport(const std::vector<MonEvent> &events,
+            const std::vector<MonWindow> &windows, double slack_us)
+{
+    MonReport report;
+
+    // 1. Group ground-truth incident events into incidents: sorted
+    // by start, merge while intervals overlap (a mass crash at one
+    // tick becomes one incident spanning its servers).
+    std::vector<MonEvent> faults;
+    for (const MonEvent &event : events)
+        if (event.incident())
+            faults.push_back(event);
+    std::stable_sort(faults.begin(), faults.end(),
+                     [](const MonEvent &a, const MonEvent &b) {
+                         if (a.timeUs != b.timeUs)
+                             return a.timeUs < b.timeUs;
+                         if (a.endUs != b.endUs)
+                             return a.endUs < b.endUs;
+                         return a.server < b.server;
+                     });
+    std::vector<std::set<std::string>> kinds;
+    std::vector<std::set<int>> servers;
+    for (const MonEvent &fault : faults) {
+        if (!report.incidents.empty() &&
+            fault.timeUs <= report.incidents.back().endUs) {
+            MonIncident &incident = report.incidents.back();
+            incident.endUs = std::max(incident.endUs, fault.endUs);
+            kinds.back().insert(fault.kind);
+            if (fault.server >= 0)
+                servers.back().insert(fault.server);
+            continue;
+        }
+        MonIncident incident;
+        incident.startUs = fault.timeUs;
+        incident.endUs = fault.endUs;
+        report.incidents.push_back(incident);
+        kinds.push_back({fault.kind});
+        servers.push_back(fault.server >= 0
+                              ? std::set<int>{fault.server}
+                              : std::set<int>{});
+    }
+    for (std::size_t i = 0; i < report.incidents.size(); ++i) {
+        MonIncident &incident = report.incidents[i];
+        for (const std::string &kind : kinds[i]) {
+            if (!incident.kind.empty())
+                incident.kind += '+';
+            incident.kind += kind;
+        }
+        incident.servers.assign(servers[i].begin(),
+                                servers[i].end());
+        incident.ttrUs = incident.endUs - incident.startUs;
+        report.maxTtrUs = std::max(report.maxTtrUs, incident.ttrUs);
+    }
+
+    // 2. Attribute each alert to the earliest incident whose
+    // [start, end + slack] covers it.
+    std::vector<std::set<std::string>> tenants(
+        report.incidents.size());
+    for (const MonEvent &event : events) {
+        if (!event.alertRaise())
+            continue;
+        ++report.alertsTotal;
+        bool matched = false;
+        for (std::size_t i = 0; i < report.incidents.size(); ++i) {
+            MonIncident &incident = report.incidents[i];
+            if (event.timeUs >= incident.startUs &&
+                event.timeUs <= incident.endUs + slack_us) {
+                ++incident.alerts;
+                double detect = event.timeUs - incident.startUs;
+                if (incident.detectUs < 0 ||
+                    detect < incident.detectUs)
+                    incident.detectUs = detect;
+                if (!event.tenant.empty())
+                    tenants[i].insert(event.tenant);
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            ++report.unmatchedAlerts;
+    }
+
+    // 3. Attributable burn: telemetry windows overlapping the
+    // incident on its servers. Tenant rows with errors name the
+    // burning tenants; aggregate rows give the error mass.
+    for (std::size_t i = 0; i < report.incidents.size(); ++i) {
+        MonIncident &incident = report.incidents[i];
+        for (const MonWindow &window : windows) {
+            if (!overlaps(window.startUs, window.endUs,
+                          incident.startUs,
+                          incident.endUs + slack_us))
+                continue;
+            if (!std::binary_search(incident.servers.begin(),
+                                    incident.servers.end(),
+                                    window.server))
+                continue;
+            if (window.aggregate()) {
+                incident.errorCount += window.errors();
+                incident.arrivalCount += window.arrivals;
+            } else if (window.errors() > 0) {
+                tenants[i].insert(window.tenant);
+            }
+        }
+        if (incident.arrivalCount > 0)
+            incident.burn =
+                static_cast<double>(incident.errorCount) /
+                static_cast<double>(incident.arrivalCount);
+        incident.tenants.assign(tenants[i].begin(),
+                                tenants[i].end());
+        if (incident.detectUs >= 0)
+            report.maxDetectUs =
+                std::max(report.maxDetectUs, incident.detectUs);
+    }
+
+    for (const MonWindow &window : windows) {
+        if (!window.aggregate())
+            continue;
+        report.errorCount += window.errors();
+        report.arrivalCount += window.arrivals;
+    }
+    if (report.arrivalCount > 0)
+        report.totalBurn = static_cast<double>(report.errorCount) /
+                           static_cast<double>(report.arrivalCount);
+    return report;
+}
+
+std::string
+renderReport(const MonReport &report)
+{
+    std::ostringstream out;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "incidents: %zu, alerts: %u (%u unmatched), "
+                  "fleet burn: %.4f (%llu/%llu)\n",
+                  report.incidents.size(), report.alertsTotal,
+                  report.unmatchedAlerts, report.totalBurn,
+                  static_cast<unsigned long long>(report.errorCount),
+                  static_cast<unsigned long long>(
+                      report.arrivalCount));
+    out << buf;
+    for (std::size_t i = 0; i < report.incidents.size(); ++i) {
+        const MonIncident &incident = report.incidents[i];
+        std::snprintf(buf, sizeof(buf),
+                      "incident %zu: %s start=%.3fus ttr=%.3fus ",
+                      i, incident.kind.c_str(), incident.startUs,
+                      incident.ttrUs);
+        out << buf;
+        if (incident.detectUs >= 0)
+            std::snprintf(buf, sizeof(buf), "detect=%.3fus ",
+                          incident.detectUs);
+        else
+            std::snprintf(buf, sizeof(buf), "detect=never ");
+        out << buf << "servers=";
+        for (std::size_t s = 0; s < incident.servers.size(); ++s)
+            out << (s ? "," : "") << incident.servers[s];
+        out << " tenants=";
+        for (std::size_t t = 0; t < incident.tenants.size(); ++t)
+            out << (t ? "," : "") << incident.tenants[t];
+        std::snprintf(buf, sizeof(buf),
+                      " alerts=%u burn=%.4f (%llu/%llu)\n",
+                      incident.alerts, incident.burn,
+                      static_cast<unsigned long long>(
+                          incident.errorCount),
+                      static_cast<unsigned long long>(
+                          incident.arrivalCount));
+        out << buf;
+    }
+    return out.str();
+}
+
+std::map<std::string, double>
+flatReport(const MonReport &report)
+{
+    std::map<std::string, double> kv;
+    kv["mon.incidents"] =
+        static_cast<double>(report.incidents.size());
+    kv["mon.alerts"] = report.alertsTotal;
+    kv["mon.unmatched_alerts"] = report.unmatchedAlerts;
+    kv["mon.max_ttr_us"] = report.maxTtrUs;
+    kv["mon.max_detect_us"] = report.maxDetectUs;
+    kv["mon.total_burn"] = report.totalBurn;
+    for (std::size_t i = 0; i < report.incidents.size(); ++i) {
+        const MonIncident &incident = report.incidents[i];
+        std::string prefix = "incident" + std::to_string(i) + ".";
+        kv[prefix + "start_us"] = incident.startUs;
+        kv[prefix + "ttr_us"] = incident.ttrUs;
+        kv[prefix + "detect_us"] = incident.detectUs;
+        kv[prefix + "burn"] = incident.burn;
+        kv[prefix + "servers"] =
+            static_cast<double>(incident.servers.size());
+        kv[prefix + "alerts"] = incident.alerts;
+    }
+    return kv;
+}
+
+void
+writeHeatmapCsv(const std::vector<MonWindow> &windows,
+                std::ostream &out)
+{
+    std::set<int> servers;
+    std::uint64_t num_windows = 0;
+    std::map<std::pair<int, std::uint64_t>, double> p99;
+    for (const MonWindow &window : windows) {
+        if (!window.aggregate())
+            continue;
+        servers.insert(window.server);
+        num_windows = std::max(num_windows, window.window + 1);
+        p99[{window.server, window.window}] = window.p99Us;
+    }
+    out << "server";
+    for (std::uint64_t w = 0; w < num_windows; ++w)
+        out << ",w" << w;
+    out << "\n";
+    char buf[32];
+    for (int server : servers) {
+        out << server;
+        for (std::uint64_t w = 0; w < num_windows; ++w) {
+            auto it = p99.find({server, w});
+            std::snprintf(buf, sizeof(buf), ",%.3f",
+                          it == p99.end() ? 0.0 : it->second);
+            out << buf;
+        }
+        out << "\n";
+    }
+}
+
+} // namespace jord::obs

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Offline incident correlation for jordmon.
+ *
+ * Consumes the two artifacts the fleet observability plane writes
+ * (`BASE.windows.csv`, `BASE.events.csv`) and joins the SLO
+ * monitor's alerts against the ground-truth chaos injections:
+ *
+ *  1. ground-truth incident events (crash, gray, link_drop,
+ *     link_delay) are grouped into incidents — events whose
+ *     [start, end] intervals overlap merge into one incident, so a
+ *     scripted mass crash is one incident with a multi-server blast
+ *     radius;
+ *  2. each alert_raise is attributed to the earliest incident whose
+ *     [start, end + slack] covers it (slack absorbs the latency tail
+ *     that keeps burning after the injection clears); alerts covered
+ *     by no incident are counted as false positives
+ *     (`unmatched_alerts` — zero on a clean run);
+ *  3. per incident, the telemetry windows overlapping it on the
+ *     incident's servers give the attributable SLO burn
+ *     (errors / arrivals over those windows).
+ *
+ * Everything is computed from sorted vectors in one deterministic
+ * pass, so a report is byte-identical across same-seed runs — which
+ * is what lets `jordmon diff` gate detect-latency/TTR/burn
+ * regressions the way jordprof diff gates latency.
+ */
+
+#ifndef JORD_OBS_MONITOR_HH
+#define JORD_OBS_MONITOR_HH
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace jord::obs {
+
+/** One parsed telemetry row (windows CSV). */
+struct MonWindow {
+    std::uint64_t window = 0;
+    double startUs = 0;
+    double endUs = 0;
+    int server = 0;
+    /** "*" for the server-aggregate row. */
+    std::string tenant;
+    std::uint64_t arrivals = 0;
+    std::uint64_t completions = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t sloMiss = 0;
+    std::uint64_t coldStarts = 0;
+    std::uint64_t warmSlots = 0;
+    double queueDepth = 0;
+    double occupancy = 0;
+    double p50Us = 0;
+    double p99Us = 0;
+
+    bool aggregate() const { return tenant == "*"; }
+    std::uint64_t errors() const { return sloMiss + failed + shed; }
+};
+
+/** One parsed event row (events CSV). */
+struct MonEvent {
+    double timeUs = 0;
+    double endUs = 0;
+    std::string kind;
+    int server = -1; ///< -1 when the CSV column is empty
+    std::string tenant;
+    double value = 0;
+
+    bool
+    incident() const
+    {
+        return kind == "crash" || kind == "gray" ||
+               kind == "link_drop" || kind == "link_delay";
+    }
+    bool alertRaise() const { return kind == "alert_raise"; }
+};
+
+/** One correlated incident. */
+struct MonIncident {
+    /** Kinds merged into this incident, '+'-joined ("crash+gray"). */
+    std::string kind;
+    double startUs = 0;
+    double endUs = 0;
+    /** Distinct servers, ascending (the blast radius). */
+    std::vector<int> servers;
+    /** Tenants alerted or burning during the incident, sorted. */
+    std::vector<std::string> tenants;
+    /** First joined alert - incident start; -1 = never detected. */
+    double detectUs = -1;
+    /** Incident end - start (for a crash: the restart time). */
+    double ttrUs = 0;
+    unsigned alerts = 0;
+    std::uint64_t errorCount = 0;
+    std::uint64_t arrivalCount = 0;
+    /** errorCount / arrivalCount over overlapping windows. */
+    double burn = 0;
+};
+
+/** The joined report. */
+struct MonReport {
+    std::vector<MonIncident> incidents;
+    unsigned alertsTotal = 0;
+    /** alert_raise events no incident explains (false positives). */
+    unsigned unmatchedAlerts = 0;
+    double maxTtrUs = 0;
+    double maxDetectUs = 0;
+    std::uint64_t errorCount = 0;
+    std::uint64_t arrivalCount = 0;
+    /** Fleet-wide errors / arrivals over all windows. */
+    double totalBurn = 0;
+};
+
+/** Parse a windows CSV; fatal on a malformed header or row. */
+std::vector<MonWindow> parseWindowsCsv(std::istream &in,
+                                       const std::string &what);
+
+/** Parse an events CSV; fatal on a malformed header or row. */
+std::vector<MonEvent> parseEventsCsv(std::istream &in,
+                                     const std::string &what);
+
+/**
+ * Join alerts against ground-truth incidents (see file comment).
+ * @p slack_us extends each incident's attribution horizon.
+ */
+MonReport buildReport(const std::vector<MonEvent> &events,
+                      const std::vector<MonWindow> &windows,
+                      double slack_us);
+
+/** Human-readable incident timeline. */
+std::string renderReport(const MonReport &report);
+
+/** Flat key->value summary for jordmon diff (prof::writeFlatJson). */
+std::map<std::string, double> flatReport(const MonReport &report);
+
+/**
+ * Per-server x window heatmap CSV from the aggregate telemetry rows:
+ * one row per server, one column per window, cell = interval P99 in
+ * µs (the at-a-glance "which server, which window" view).
+ */
+void writeHeatmapCsv(const std::vector<MonWindow> &windows,
+                     std::ostream &out);
+
+} // namespace jord::obs
+
+#endif // JORD_OBS_MONITOR_HH

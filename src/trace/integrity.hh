@@ -8,6 +8,12 @@
  * inside a span line instead.  Both trace_report and jordlint refuse
  * such files up front rather than silently reporting on the prefix
  * that happened to survive.
+ *
+ * A complete trace with *zero spans* (an empty run: nothing arrived
+ * inside the measured window) is a valid file, not a truncated one:
+ * the writer still emits the metadata records and the closing
+ * sentinel, and the check accepts it.  Only the downstream analyzers
+ * decide whether an empty trace is useful.
  */
 
 #ifndef JORD_TRACE_INTEGRITY_HH
@@ -22,7 +28,8 @@ namespace jord::trace {
 
 /**
  * Fatal unless @p path is a complete Chrome trace JSON file: readable,
- * non-empty, and terminated by the writer's closing "}}".
+ * non-empty, and terminated by the writer's closing "}}". A complete
+ * file holding zero spans passes — empty is not truncated.
  */
 inline void
 requireCompleteTraceFile(const std::string &path)
@@ -33,8 +40,9 @@ requireCompleteTraceFile(const std::string &path)
     in.seekg(0, std::ios::end);
     std::streamoff size = in.tellg();
     if (size <= 0)
-        sim::fatal("'%s' is empty — not a trace file (did the "
-                   "producing run finish?)",
+        sim::fatal("'%s' is a zero-byte file — not a trace (a "
+                   "span-free run still writes the trace header and "
+                   "closing \"}}\"; did the producing run finish?)",
                    path.c_str());
 
     // Only the tail matters; a complete file ends "...}}\n".

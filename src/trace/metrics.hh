@@ -34,10 +34,25 @@ class Counter
   public:
     void add(std::uint64_t n = 1) { value_ += n; }
     std::uint64_t value() const { return value_; }
-    void reset() { value_ = 0; }
+    void reset() { value_ = mark_ = 0; }
+
+    /**
+     * Snapshot-and-reset for windowed streams: returns the amount
+     * added since the previous intervalReset() (or since creation)
+     * and advances the interval mark. The cumulative value() is
+     * untouched, so end-of-run exports still see the full count.
+     */
+    std::uint64_t
+    intervalReset()
+    {
+        std::uint64_t delta = value_ - mark_;
+        mark_ = value_;
+        return delta;
+    }
 
   private:
     std::uint64_t value_ = 0;
+    std::uint64_t mark_ = 0;
 };
 
 /**

@@ -134,6 +134,17 @@ class Tracer
     /** Name an export track ("core 3 (executor)"). */
     void setTrackName(unsigned track, const std::string &name);
 
+    /**
+     * Name an export process ("server 3"). The worker tracer keeps
+     * everything in pid 0 ("jord worker"); fleet traces give each
+     * server its own pid so Perfetto renders one labeled group per
+     * server instead of bare numeric pids.
+     */
+    void setProcessName(unsigned pid, const std::string &name);
+
+    /** Assign an export track to a process (default: pid 0). */
+    void setTrackPid(unsigned track, unsigned pid);
+
     // --- Access -----------------------------------------------------
 
     const std::vector<SpanRecord> &spans() const { return spans_; }
@@ -150,6 +161,16 @@ class Tracer
     {
         return trackNames_;
     }
+    const std::map<unsigned, std::string> &processNames() const
+    {
+        return processNames_;
+    }
+    const std::map<unsigned, unsigned> &trackPids() const
+    {
+        return trackPids_;
+    }
+    /** The export pid of @p track (0 unless assigned). */
+    unsigned trackPid(unsigned track) const;
     double freqGhz() const { return freqGhz_; }
     std::size_t numSpans() const { return spans_.size(); }
 
@@ -167,6 +188,8 @@ class Tracer
     std::unordered_map<std::string, std::uint32_t> nameIds_;
     std::map<std::string, std::string> meta_;
     std::map<unsigned, std::string> trackNames_;
+    std::map<unsigned, std::string> processNames_;
+    std::map<unsigned, unsigned> trackPids_;
 
     std::uint32_t intern(std::string_view name);
 };

@@ -9,12 +9,14 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 #include "runtime/worker.hh"
 #include "trace/breakdown.hh"
 #include "trace/export.hh"
+#include "trace/integrity.hh"
 #include "trace/metrics.hh"
 #include "trace/trace.hh"
 
@@ -262,6 +264,74 @@ TEST(TraceGolden, ExportIsWellFormed)
     EXPECT_NE(json.find("\"otherData\""), std::string::npos);
     EXPECT_NE(json.find("\"workload\":\"chain\""), std::string::npos);
     EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(TraceGolden, ExportLabelsProcessesAndTracksForPerfetto)
+{
+    trace::Tracer tracer;
+    tracer.setProcessName(2, "server 1");
+    tracer.setTrackPid(3, 2);
+    tracer.setTrackName(3, "server 1");
+    tracer.complete("queue", trace::Category::Dispatch, 3, 10, 5);
+
+    std::string json = trace::chromeTraceJson(tracer);
+    // Pid 0 keeps the worker default until renamed; the extra pid is
+    // announced with its own process_name metadata record.
+    EXPECT_NE(json.find("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":"
+                        "\"process_name\",\"args\":{\"name\":"
+                        "\"jord worker\"}}"),
+              std::string::npos)
+        << json;
+    EXPECT_NE(json.find("{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":"
+                        "\"process_name\",\"args\":{\"name\":"
+                        "\"server 1\"}}"),
+              std::string::npos);
+    // The named track is announced under its owning pid, and the
+    // span lands on that pid rather than the default 0.
+    EXPECT_NE(json.find("{\"ph\":\"M\",\"pid\":2,\"tid\":3,\"name\":"
+                        "\"thread_name\",\"args\":{\"name\":"
+                        "\"server 1\"}}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\",\"pid\":2,\"tid\":3,"),
+              std::string::npos);
+    EXPECT_EQ(tracer.trackPid(3), 2u);
+    EXPECT_EQ(tracer.trackPid(0), 0u);
+
+    // Renaming pid 0 replaces the default label (fleet traces).
+    tracer.setProcessName(0, "jord fleet");
+    json = trace::chromeTraceJson(tracer);
+    EXPECT_NE(json.find("\"jord fleet\""), std::string::npos);
+    EXPECT_EQ(json.find("\"jord worker\""), std::string::npos);
+}
+
+// --- Trace-file integrity ----------------------------------------------------
+
+TEST(TraceIntegrity, CompleteButEmptyTraceIsAcceptedTruncationIsNot)
+{
+    // A span-free run still writes a complete file: header, metadata
+    // records, closing sentinel. That must pass the integrity check.
+    trace::Tracer tracer;
+    std::string json = trace::chromeTraceJson(tracer);
+    std::string path = testing::TempDir() + "jord_empty_trace.json";
+    {
+        std::ofstream out(path, std::ios::binary);
+        ASSERT_TRUE(static_cast<bool>(out));
+        out << json;
+    }
+    trace::requireCompleteTraceFile(path);
+
+    std::string trunc = testing::TempDir() + "jord_trunc_trace.json";
+    {
+        std::ofstream out(trunc, std::ios::binary);
+        out << json.substr(0, json.size() / 2);
+    }
+    EXPECT_DEATH(trace::requireCompleteTraceFile(trunc), "truncated");
+
+    std::string zero = testing::TempDir() + "jord_zero_trace.json";
+    {
+        std::ofstream out(zero, std::ios::binary);
+    }
+    EXPECT_DEATH(trace::requireCompleteTraceFile(zero), "zero-byte");
 }
 
 // --- Analyzer round-trip ----------------------------------------------------

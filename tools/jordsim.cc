@@ -28,6 +28,7 @@
 #include "check/check.hh"
 #include "cluster/cluster.hh"
 #include "fault/fault.hh"
+#include "obs/obs.hh"
 #include "par/par.hh"
 #include "prof/pmu.hh"
 #include "prof/profile_json.hh"
@@ -90,6 +91,11 @@ struct Options {
     double retryBudget = 0;
     bool healthCheck = false;
     bool breaker = false;
+    double obsIntervalMs = 0;
+    std::string obsOut;
+    std::string obsTraceOut;
+    double obsSloTarget = 0.99;
+    double obsBurnThreshold = 2.0;
     /** Explicitly-given flags that only make sense in one mode; the
      * other mode rejects them instead of silently ignoring them. */
     std::vector<std::string> workerOnlyFlags;
@@ -186,6 +192,26 @@ printUsage()
         "  --breaker           per-(server,tenant) circuit breakers\n"
         "                      feeding the shed path\n"
         "\n"
+        "fleet observability (--cluster only; all off by default,\n"
+        "and off leaves every other output byte-identical):\n"
+        "  --obs-interval-ms X enable windowed telemetry, the SLO\n"
+        "                      burn-rate monitor and the incident log\n"
+        "                      with X ms windows\n"
+        "  --obs-out BASE      write BASE.windows.csv (per-server,\n"
+        "                      per-tenant interval telemetry) and\n"
+        "                      BASE.events.csv (ground-truth chaos\n"
+        "                      incidents + SLO alerts) for jordmon;\n"
+        "                      requires --obs-interval-ms\n"
+        "  --obs-trace-out FILE  write the fleet request trace\n"
+        "                      (Chrome trace-event JSON, one named\n"
+        "                      track per server) \n"
+        "  --obs-slo-target F  SLO objective: target fraction of\n"
+        "                      requests meeting their tenant SLO; the\n"
+        "                      error budget is 1-F (default 0.99)\n"
+        "  --obs-burn-threshold X  alert when both the fast (5-window)\n"
+        "                      and slow (60-window) burn rates exceed\n"
+        "                      X times the error budget (default 2)\n"
+        "\n"
         "host parallelism:\n"
         "  --jobs N            fan independent runs (sweep points,\n"
         "                      seeds) across N host threads; 0 = one\n"
@@ -228,7 +254,9 @@ printUsage()
         "--retry-backoff-us) are rejected with --cluster, and\n"
         "fleet-only flags (--lb, --traffic, --duration-ms, --slo-us,\n"
         "--autoscale, --hedge-us, --outlier-eject, --retry-budget,\n"
-        "--health-check, --breaker) are rejected without it.\n"
+        "--health-check, --breaker, --obs-interval-ms, --obs-out,\n"
+        "--obs-trace-out, --obs-slo-target, --obs-burn-threshold) are\n"
+        "rejected without it.\n"
         "\n"
         "checking (JordSan, all off by default):\n"
         "  --check[=FAMILIES]  run with the isolation sanitizer on.\n"
@@ -426,6 +454,34 @@ parseArgs(int argc, char **argv)
             opt.clusterOnlyFlags.push_back(flag);
         } else if (flag == "--breaker") {
             opt.breaker = true;
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--obs-interval-ms") {
+            opt.obsIntervalMs = std::strtod(value().c_str(), nullptr);
+            if (opt.obsIntervalMs <= 0)
+                sim::fatal("--obs-interval-ms expects a window > 0, "
+                           "got %g",
+                           opt.obsIntervalMs);
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--obs-out") {
+            opt.obsOut = value();
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--obs-trace-out") {
+            opt.obsTraceOut = value();
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--obs-slo-target") {
+            opt.obsSloTarget = std::strtod(value().c_str(), nullptr);
+            if (opt.obsSloTarget <= 0 || opt.obsSloTarget >= 1)
+                sim::fatal("--obs-slo-target expects a fraction in "
+                           "(0, 1), got %g",
+                           opt.obsSloTarget);
+            opt.clusterOnlyFlags.push_back(flag);
+        } else if (flag == "--obs-burn-threshold") {
+            opt.obsBurnThreshold =
+                std::strtod(value().c_str(), nullptr);
+            if (opt.obsBurnThreshold <= 0)
+                sim::fatal("--obs-burn-threshold expects a multiple "
+                           "> 0, got %g",
+                           opt.obsBurnThreshold);
             opt.clusterOnlyFlags.push_back(flag);
         } else if (flag == "--seed-sweep") {
             std::string spec = value();
@@ -674,9 +730,17 @@ runCluster(const Options &opt, par::ThreadPool *pool)
     if (!opt.traceOut.empty() || !opt.profOut.empty() ||
         !opt.pmuOut.empty())
         sim::fatal("--cluster does not support --trace-out, "
-                   "--prof-out or --pmu-out");
+                   "--prof-out or --pmu-out (the fleet trace is "
+                   "--obs-trace-out)");
     if (opt.check.any())
         sim::fatal("--cluster does not support --check");
+    if (!opt.obsOut.empty() && opt.obsIntervalMs <= 0)
+        sim::fatal("--obs-out requires --obs-interval-ms (the "
+                   "windows/events artifacts are interval streams)");
+    if (opt.obsIntervalMs <= 0 &&
+        (opt.obsSloTarget != 0.99 || opt.obsBurnThreshold != 2.0))
+        sim::fatal("--obs-slo-target / --obs-burn-threshold tune the "
+                   "SLO monitor and require --obs-interval-ms");
 
     workloads::Workload w = workloads::makeByName(opt.workload);
     cluster::ClusterConfig cfg;
@@ -713,14 +777,72 @@ runCluster(const Options &opt, par::ThreadPool *pool)
     cluster::ServerModel model = cluster::calibrateServer(
         w, cfg.worker, cfg.calibration, pool);
     cluster::ClusterSim sim(cfg, model);
+
+    obs::ObsConfig ocfg;
+    ocfg.intervalUs = opt.obsIntervalMs * 1000.0;
+    ocfg.trace = !opt.obsTraceOut.empty();
+    ocfg.sloTargetFrac = opt.obsSloTarget;
+    ocfg.burnThreshold = opt.obsBurnThreshold;
+    std::optional<obs::FleetObserver> observer;
+    if (ocfg.enabled()) {
+        // The observer sees the resolved fleet: every server the
+        // autoscaler could ever enlist, and the finalized tenant list
+        // with their absolute SLOs.
+        unsigned max_servers = cfg.numServers;
+        if (cfg.autoscale.enabled)
+            max_servers = std::max(cfg.numServers,
+                                   cfg.autoscale.maxServers == 0
+                                       ? cfg.numServers
+                                       : cfg.autoscale.maxServers);
+        double slo_us =
+            cfg.sloUs > 0 ? cfg.sloUs : 10.0 * model.meanLatencyUs;
+        cfg.traffic.finalize();
+        std::vector<obs::ObsTenant> tenants;
+        for (const cluster::TenantSpec &spec : cfg.traffic.tenants)
+            tenants.push_back(obs::ObsTenant{
+                spec.name, slo_us * spec.sloMultiplier});
+        observer.emplace(ocfg, max_servers, std::move(tenants),
+                         model.concurrency,
+                         cfg.worker.machine.freqGhz);
+        sim.setObserver(&*observer);
+    }
+
     cluster::ClusterResult res = sim.run();
 
+    auto openOut = [](const std::string &path) {
+        std::ofstream out(path);
+        if (!out)
+            sim::fatal("cannot open '%s'", path.c_str());
+        return out;
+    };
+    if (observer && !opt.obsOut.empty()) {
+        {
+            auto out = openOut(opt.obsOut + ".windows.csv");
+            observer->writeWindowsCsv(out);
+        }
+        {
+            auto out = openOut(opt.obsOut + ".events.csv");
+            observer->writeEventsCsv(out);
+        }
+        std::fprintf(stderr,
+                     "wrote %zu telemetry windows and %zu events to "
+                     "%s.{windows,events}.csv\n",
+                     observer->windows().size(),
+                     observer->events().size(), opt.obsOut.c_str());
+    }
+    if (observer && !opt.obsTraceOut.empty()) {
+        auto out = openOut(opt.obsTraceOut);
+        trace::writeChromeTrace(*observer->tracer(), out);
+        std::fprintf(stderr, "wrote %zu fleet spans to %s\n",
+                     observer->tracer()->numSpans(),
+                     opt.obsTraceOut.c_str());
+    }
     if (!opt.metricsOut.empty()) {
         trace::MetricsRegistry registry;
         cluster::attachClusterMetrics(res, registry);
-        std::ofstream out(opt.metricsOut);
-        if (!out)
-            sim::fatal("cannot open '%s'", opt.metricsOut.c_str());
+        if (observer)
+            observer->attachMetrics(registry);
+        auto out = openOut(opt.metricsOut);
         registry.writeCsv(out);
         std::fprintf(stderr, "wrote %zu metrics to %s\n",
                      registry.size(), opt.metricsOut.c_str());

@@ -51,9 +51,20 @@ main(int argc, char **argv)
     if (!in)
         sim::fatal("cannot open '%s'", path.c_str());
     trace::BreakdownReport report = trace::analyzeChromeTrace(in);
-    if (report.rows.empty())
-        sim::fatal("'%s' holds no measured invocation spans",
-                   path.c_str());
+    if (report.rows.empty()) {
+        // A complete-but-empty trace (a run where nothing completed
+        // inside the measured window) is valid — report it as such
+        // instead of misdiagnosing the file.
+        if (csv)
+            std::printf("fn,invocations,service_us,exec_us,"
+                        "isolation_us,dispatch_us,comm_us,pipe_us,"
+                        "wait_us,overhead_pct\n");
+        else
+            std::printf("'%s' is a complete trace with no measured "
+                        "invocation spans (empty run)\n",
+                        path.c_str());
+        return 0;
+    }
 
     if (csv) {
         std::printf("fn,invocations,service_us,exec_us,isolation_us,"
