@@ -1,0 +1,266 @@
+#include "par/domains.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace jord::par {
+
+namespace {
+
+/** floor + lookahead, saturating at kTickMax. */
+sim::Tick
+saturatingAdd(sim::Tick base, sim::Tick delta)
+{
+    if (delta >= sim::kTickMax - base)
+        return sim::kTickMax;
+    return base + delta;
+}
+
+/** Min-heap comparator for newborn runnables. */
+struct NewbornGreater {
+    template <typename N>
+    bool
+    operator()(const N &a, const N &b) const
+    {
+        return b.before(a);
+    }
+};
+
+} // namespace
+
+DomainEngine::DomainEngine(const Config &cfg, ThreadPool *pool)
+    : cfg_(cfg), pool_(pool)
+{
+    if (cfg_.domains == 0)
+        sim::panic("DomainEngine: need at least one domain");
+    if (cfg_.domains > 1 && cfg_.lookahead == 0)
+        sim::panic("DomainEngine: multi-domain execution needs a "
+                   "positive lookahead");
+    domains_.resize(cfg_.domains);
+}
+
+sim::Tick
+DomainEngine::Context::lookahead() const
+{
+    return eng_.cfg_.lookahead;
+}
+
+void
+DomainEngine::schedule(unsigned domain, sim::Tick when, DomainFn fn)
+{
+    if (domain >= domains_.size())
+        sim::panic("DomainEngine: domain %u out of range (have %zu)",
+                   domain, domains_.size());
+    domains_[domain].queue.push(
+        Pending{when, seedSeq(), false, std::move(fn)});
+}
+
+void
+DomainEngine::scheduleDaemon(unsigned domain, sim::Tick when, DomainFn fn)
+{
+    if (domain >= domains_.size())
+        sim::panic("DomainEngine: domain %u out of range (have %zu)",
+                   domain, domains_.size());
+    domains_[domain].queue.push(
+        Pending{when, seedSeq(), true, std::move(fn)});
+}
+
+void
+DomainEngine::Context::schedule(unsigned domain, sim::Tick when,
+                                DomainFn fn)
+{
+    DomainState &ds = eng_.domains_[domain_];
+    if (when < now_)
+        sim::panic("DomainEngine: scheduling event in the past "
+                   "(when=%llu now=%llu)",
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(now_));
+    if (domain >= eng_.domains_.size())
+        sim::panic("DomainEngine: domain %u out of range (have %zu)",
+                   domain, eng_.domains_.size());
+    if (domain != domain_ &&
+        when < saturatingAdd(now_, eng_.cfg_.lookahead))
+        sim::panic("DomainEngine: cross-domain schedule %u -> %u at "
+                   "when=%llu violates lookahead %llu (now=%llu)",
+                   domain_, domain,
+                   static_cast<unsigned long long>(when),
+                   static_cast<unsigned long long>(eng_.cfg_.lookahead),
+                   static_cast<unsigned long long>(now_));
+    std::size_t birth = ds.births.size();
+    ds.births.push_back(Birth{domain, when, false, std::move(fn), 0,
+                              false, 0});
+    LogEntry &cur = ds.log[ds.log.size() - 1];
+    cur.children.push_back(birth);
+    if (domain == domain_ && when < ds.epochHorizon) {
+        ds.runnable.push_back(Newborn{when, ds.dispatchPos - 1,
+                                      cur.children.size() - 1, birth});
+        std::push_heap(ds.runnable.begin(), ds.runnable.end(),
+                       NewbornGreater{});
+    }
+}
+
+void
+DomainEngine::Context::scheduleDaemon(unsigned domain, sim::Tick when,
+                                      DomainFn fn)
+{
+    schedule(domain, when, std::move(fn));
+    eng_.domains_[domain_].births.back().daemon = true;
+}
+
+void
+DomainEngine::runEpoch(unsigned domain, sim::Tick horizon)
+{
+    DomainState &ds = domains_[domain];
+    ds.log.clear();
+    ds.births.clear();
+    ds.runnable.clear();
+    ds.dispatched = 0;
+    ds.sawAny = false;
+    ds.sawWork = false;
+    ds.epochHorizon = horizon;
+    Context ctx(*this, domain);
+
+    while (true) {
+        const Pending *pending = ds.queue.peek();
+        bool have_pending = pending != nullptr && pending->when < horizon;
+        bool have_newborn = !ds.runnable.empty();
+        // Assigned events win ties: their seqs predate any newborn's.
+        bool take_pending =
+            have_pending &&
+            (!have_newborn || pending->when <= ds.runnable.front().when);
+
+        if (take_pending) {
+            Pending ev = ds.queue.pop();
+            ds.log.push_back(
+                LogEntry{ev.when, ev.seq, true, ev.daemon, {}});
+            ctx.now_ = ev.when;
+            ++ds.dispatchPos;
+            ++ds.dispatched;
+            ds.sawAny = true;
+            ds.maxWhen = ev.when;
+            if (!ev.daemon) {
+                ds.sawWork = true;
+                ds.maxWorkWhen = ev.when;
+            }
+            ev.fn(ctx);
+        } else if (have_newborn) {
+            std::pop_heap(ds.runnable.begin(), ds.runnable.end(),
+                          NewbornGreater{});
+            Newborn nb = ds.runnable.back();
+            ds.runnable.pop_back();
+            Birth &b = ds.births[nb.birth];
+            b.executed = true;
+            b.logIndex = ds.log.size();
+            ds.log.push_back(LogEntry{b.when, 0, false, b.daemon, {}});
+            ctx.now_ = b.when;
+            ++ds.dispatchPos;
+            ++ds.dispatched;
+            ds.sawAny = true;
+            ds.maxWhen = b.when;
+            if (!b.daemon) {
+                ds.sawWork = true;
+                ds.maxWorkWhen = b.when;
+            }
+            b.fn(ctx);
+        } else {
+            break;
+        }
+    }
+}
+
+void
+DomainEngine::barrier()
+{
+    // Replay the epoch's dispatches in global canonical order (K-way
+    // merge of the per-domain logs by (when, seq)) and hand each
+    // visited event's children their seqs in schedule-call order —
+    // exactly when the serial reference would have assigned them. A
+    // front entry always has its seq materialized by the time it can
+    // win the merge: its parent precedes it in the same log.
+    std::vector<std::size_t> front(domains_.size(), 0);
+    while (true) {
+        int best = -1;
+        for (std::size_t d = 0; d < domains_.size(); ++d) {
+            if (front[d] >= domains_[d].log.size())
+                continue;
+            const LogEntry &e = domains_[d].log[front[d]];
+            if (!e.hasSeq)
+                sim::panic("DomainEngine: unnumbered log entry at "
+                           "merge front (internal error)");
+            if (best < 0)
+                best = static_cast<int>(d);
+            else {
+                const LogEntry &o =
+                    domains_[static_cast<std::size_t>(best)]
+                        .log[front[static_cast<std::size_t>(best)]];
+                if (e.when < o.when ||
+                    (e.when == o.when && e.seq < o.seq))
+                    best = static_cast<int>(d);
+            }
+        }
+        if (best < 0)
+            break;
+        DomainState &ds = domains_[static_cast<std::size_t>(best)];
+        const LogEntry &entry =
+            ds.log[front[static_cast<std::size_t>(best)]++];
+        for (std::size_t bi : entry.children) {
+            Birth &b = ds.births[bi];
+            std::uint64_t seq = seedSeq();
+            if (b.executed) {
+                LogEntry &child = ds.log[b.logIndex];
+                child.seq = seq;
+                child.hasSeq = true;
+            } else {
+                b.seq = seq;
+            }
+        }
+    }
+
+    // Commit the surviving (unexecuted) births to their target
+    // domains' sub-queues, and fold in this epoch's counters.
+    for (DomainState &ds : domains_) {
+        for (Birth &b : ds.births) {
+            if (b.executed)
+                continue;
+            domains_[b.targetDomain].queue.push(
+                Pending{b.when, b.seq, b.daemon, std::move(b.fn)});
+        }
+        numDispatched_ += ds.dispatched;
+        if (ds.sawAny && ds.maxWhen > curTick_)
+            curTick_ = ds.maxWhen;
+        if (ds.sawWork && ds.maxWorkWhen > lastWorkTick_)
+            lastWorkTick_ = ds.maxWorkWhen;
+    }
+}
+
+sim::Tick
+DomainEngine::run()
+{
+    while (true) {
+        sim::Tick floor = sim::kTickMax;
+        bool any = false;
+        for (DomainState &ds : domains_) {
+            const Pending *p = ds.queue.peek();
+            if (p != nullptr && (!any || p->when < floor)) {
+                floor = p->when;
+                any = true;
+            }
+        }
+        if (!any)
+            break;
+        sim::Tick horizon = saturatingAdd(floor, cfg_.lookahead);
+        ++numEpochs_;
+        TaskGroup group(pool_ != nullptr && pool_->numThreads() > 1
+                            ? pool_
+                            : nullptr);
+        for (unsigned d = 0; d < domains_.size(); ++d)
+            group.run([this, d, horizon] { runEpoch(d, horizon); });
+        group.wait();
+        barrier();
+    }
+    return curTick_;
+}
+
+} // namespace jord::par

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Conservative intra-run parallel discrete-event engine.
+ *
+ * The machine's tiles are partitioned into K *domains*, each with its
+ * own calendar sub-queue, executing in bounded-lookahead epochs:
+ *
+ *   1. epoch floor = the globally earliest pending event;
+ *   2. horizon = floor + lookahead, where the lookahead is the
+ *      minimum cross-domain NoC hop latency
+ *      (noc::Mesh::minCrossDomainLookahead) — no event can affect
+ *      another domain sooner than that;
+ *   3. every domain executes its events with when < horizon in
+ *      parallel (TaskGroup fork-join over the host thread pool);
+ *   4. at the epoch barrier, events scheduled during the epoch are
+ *      committed to their target domains' queues in canonical order.
+ *
+ * Byte-identity with the serial EventQueue (DESIGN.md §14): the serial
+ * reference dispatches by (when, seq) where seq is schedule-call
+ * order. Schedule-call order is itself determined by dispatch order —
+ * an event's children get consecutive seqs at the moment their parent
+ * runs. The barrier exploits this: it replays the epoch's per-domain
+ * execution logs as a K-way merge in (when, seq) order — exactly the
+ * serial dispatch order — assigning each visited event's children
+ * their seqs in call order. A child always acquires its seq before
+ * the merge can compare it (its parent is earlier in the same
+ * domain's log), so the assignment is total and equals the serial
+ * numbering. Within an epoch a domain orders seq-less newborns by
+ * (when, parent dispatch index, child index), which coincides with
+ * the eventual seq order; cross-domain newborns always land at or
+ * beyond the horizon (when >= now + lookahead >= floor + lookahead),
+ * so they never execute in the epoch that bore them and always pass
+ * through the barrier numbering.
+ *
+ * The contract the client must honour (panic otherwise): a callback
+ * running in domain d may touch only domain-d state, and may schedule
+ * into another domain only at `when >= now() + lookahead`. Same-domain
+ * schedules may target any `when >= now()`.
+ *
+ * With a null/single-thread pool the epochs execute inline in domain
+ * order — the same code path, which is what the byte-identity tests
+ * compare against K=1 and against the serial EventQueue.
+ */
+
+#ifndef JORD_PAR_DOMAINS_HH
+#define JORD_PAR_DOMAINS_HH
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "par/par.hh"
+#include "sim/calendar_queue.hh"
+#include "sim/types.hh"
+
+namespace jord::par {
+
+/**
+ * K-domain epoch-parallel event engine.
+ *
+ * Unlike sim::EventQueue (which this engine deliberately mirrors:
+ * schedule/scheduleDaemon, curTick/lastWorkTick/numDispatched), event
+ * callbacks receive a Context so schedules made *during* the run can
+ * be logged, validated against the lookahead contract, and committed
+ * at the epoch barrier.
+ */
+class DomainEngine
+{
+  public:
+    class Context;
+    /** Event callback; may schedule further events via the context. */
+    using DomainFn = std::function<void(Context &)>;
+
+    struct Config {
+        /** Number of domains (K >= 1). */
+        unsigned domains = 1;
+        /**
+         * Conservative lookahead in ticks: the minimum time for one
+         * domain to affect another (min cross-domain NoC latency).
+         * kTickMax means "no cross-domain coupling" (e.g. K == 1).
+         */
+        sim::Tick lookahead = sim::kTickMax;
+    };
+
+    /** Per-event execution context handed to callbacks. */
+    class Context
+    {
+      public:
+        /** Tick of the event being dispatched. */
+        sim::Tick now() const { return now_; }
+
+        /** Domain the current event belongs to. */
+        unsigned domain() const { return domain_; }
+
+        /** Engine-wide lookahead (for clients computing delays). */
+        sim::Tick lookahead() const;
+
+        /**
+         * Schedule an event into @p domain at absolute tick @p when.
+         * Cross-domain targets must satisfy when >= now + lookahead;
+         * same-domain targets only when >= now.
+         */
+        void schedule(unsigned domain, sim::Tick when, DomainFn fn);
+
+        void
+        scheduleAfter(unsigned domain, sim::Cycles delay, DomainFn fn)
+        {
+            schedule(domain, now_ + delay, std::move(fn));
+        }
+
+        /** Daemon variant: does not advance lastWorkTick(). */
+        void scheduleDaemon(unsigned domain, sim::Tick when, DomainFn fn);
+
+      private:
+        friend class DomainEngine;
+        Context(DomainEngine &eng, unsigned domain)
+            : eng_(eng), domain_(domain)
+        {
+        }
+
+        DomainEngine &eng_;
+        unsigned domain_;
+        sim::Tick now_ = 0;
+    };
+
+    /**
+     * @param cfg Domain count and lookahead.
+     * @param pool Host thread pool; null (or single-threaded) runs
+     *     every epoch inline in domain order.
+     */
+    DomainEngine(const Config &cfg, ThreadPool *pool);
+
+    /** Pre-run seeding (serial phase): schedule an initial event. */
+    void schedule(unsigned domain, sim::Tick when, DomainFn fn);
+
+    /** Pre-run seeding of a daemon event. */
+    void scheduleDaemon(unsigned domain, sim::Tick when, DomainFn fn);
+
+    /** Run epochs until every domain drains. @return final tick. */
+    sim::Tick run();
+
+    /** Tick of the last dispatched event (monotone across epochs). */
+    sim::Tick curTick() const { return curTick_; }
+
+    /** Tick of the last dispatched non-daemon event. */
+    sim::Tick lastWorkTick() const { return lastWorkTick_; }
+
+    /** Total events dispatched. */
+    std::uint64_t numDispatched() const { return numDispatched_; }
+
+    /** Epoch barriers executed (1 epoch may cover many ticks). */
+    std::uint64_t numEpochs() const { return numEpochs_; }
+
+    unsigned
+    numDomains() const
+    {
+        return static_cast<unsigned>(domains_.size());
+    }
+
+  private:
+    /** One schedule() call made while an epoch was executing. */
+    struct Birth {
+        unsigned targetDomain = 0;
+        sim::Tick when = 0;
+        bool daemon = false;
+        DomainFn fn;
+        /** Canonical seq, assigned at the barrier (or on same-epoch
+         * execution, directly during the merge walk). */
+        std::uint64_t seq = 0;
+        /** Ran inside the epoch that scheduled it (same-domain,
+         * when < horizon): seq assignment patches the log entry. */
+        bool executed = false;
+        std::size_t logIndex = 0;
+    };
+
+    /** One dispatched event, in domain-local execution order. */
+    struct LogEntry {
+        sim::Tick when = 0;
+        std::uint64_t seq = 0;
+        bool hasSeq = false;
+        bool daemon = false;
+        /** Children in schedule-call order (indices into births). */
+        std::vector<std::size_t> children;
+    };
+
+    /** A pending event with an already-assigned canonical seq. */
+    struct Pending {
+        sim::Tick when = 0;
+        std::uint64_t seq = 0;
+        bool daemon = false;
+        DomainFn fn;
+    };
+
+    /** Seq-less newborn runnable within the current epoch; ordered by
+     * (when, parent dispatch index, child index), which equals the
+     * canonical seq order it will be assigned at the barrier. */
+    struct Newborn {
+        sim::Tick when = 0;
+        std::uint64_t parentPos = 0;
+        std::uint64_t childIdx = 0;
+        std::size_t birth = 0;
+
+        bool
+        before(const Newborn &other) const
+        {
+            if (when != other.when)
+                return when < other.when;
+            if (parentPos != other.parentPos)
+                return parentPos < other.parentPos;
+            return childIdx < other.childIdx;
+        }
+    };
+
+    struct DomainState {
+        sim::BasicCalendarQueue<Pending> queue;
+        /** Monotone per-domain dispatch counter (newborn ordering). */
+        std::uint64_t dispatchPos = 0;
+        /** This epoch's execution log, in local dispatch order. */
+        std::vector<LogEntry> log;
+        /** Schedule calls made by this domain during the epoch
+         * (deque: Birth addresses must survive growth). */
+        std::deque<Birth> births;
+        /** Min-heap of same-domain newborns runnable this epoch. */
+        std::vector<Newborn> runnable;
+        /** Exclusive tick bound of the epoch being executed. */
+        sim::Tick epochHorizon = 0;
+        std::uint64_t dispatched = 0;
+        sim::Tick maxWhen = 0;
+        sim::Tick maxWorkWhen = 0;
+        bool sawWork = false;
+        bool sawAny = false;
+    };
+
+    void runEpoch(unsigned domain, sim::Tick horizon);
+    void barrier();
+    std::uint64_t seedSeq() { return nextSeq_++; }
+
+    Config cfg_;
+    ThreadPool *pool_;
+    std::vector<DomainState> domains_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t numDispatched_ = 0;
+    std::uint64_t numEpochs_ = 0;
+    sim::Tick curTick_ = 0;
+    sim::Tick lastWorkTick_ = 0;
+};
+
+} // namespace jord::par
+
+#endif // JORD_PAR_DOMAINS_HH

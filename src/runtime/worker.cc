@@ -41,6 +41,10 @@ WorkerServer::WorkerServer(WorkerConfig cfg, FunctionRegistry registry)
       rng_(cfg_.seed)
 {
     const sim::MachineConfig &m = cfg_.machine;
+    if (cfg_.numDomains == 0 || cfg_.numDomains > m.numCores)
+        sim::fatal("numDomains %u must be in [1, %u cores]",
+                   cfg_.numDomains, m.numCores);
+    events_.setDomains(cfg_.numDomains);
     mesh_ = std::make_unique<noc::Mesh>(m);
     coherence_ = std::make_unique<mem::CoherenceEngine>(m, *mesh_);
 
@@ -328,8 +332,12 @@ WorkerServer::scheduleNextArrival()
     if (externalLeft_ == 0)
         return;
     --externalLeft_;
-    events_.scheduleAfter(arrivals_.nextGapCycles(rng_),
-                          [this] { onExternalArrival(); });
+    // The next arrival is handled by the current round-robin
+    // orchestrator (rrOrch_ advances as each arrival lands), so the
+    // event belongs to that orchestrator core's domain.
+    events_.scheduleAfterOn(coreDomain(orchs_[rrOrch_].core),
+                            arrivals_.nextGapCycles(rng_),
+                            [this] { onExternalArrival(); });
 }
 
 void
@@ -359,8 +367,9 @@ WorkerServer::onExternalArrival()
         req.deadline = events_.curTick() + timeoutCycles_;
         RequestId id = req.id;
         unsigned orch = req.orch;
-        deadlineEvents_[id] = events_.schedule(
-            req.deadline, [this, orch, id] { onDeadline(orch, id); });
+        deadlineEvents_[id] = events_.scheduleOn(
+            coreDomain(orchs_[orch].core), req.deadline,
+            [this, orch, id] { onDeadline(orch, id); });
     }
     orchEnqueue(req.orch, std::move(req));
     scheduleNextArrival();
@@ -617,20 +626,22 @@ WorkerServer::orchDispatchStep(unsigned orch)
                     // waiting parent: deliver a failed result instead
                     // of deadlocking its join.
                     RequestId parent = out.parent;
-                    events_.scheduleAfter(busy, [this, parent] {
-                        auto pit = live_.find(parent);
-                        if (pit == live_.end())
-                            sim::panic("pipe drop: parent vanished");
-                        onChildComplete(*pit->second,
-                                        ChildResult{0, 0, 0, true});
-                    });
+                    events_.scheduleAfterOn(
+                        coreDomain(o.core), busy, [this, parent] {
+                            auto pit = live_.find(parent);
+                            if (pit == live_.end())
+                                sim::panic("pipe drop: parent vanished");
+                            onChildComplete(*pit->second,
+                                            ChildResult{0, 0, 0, true});
+                        });
                 } else {
                     busy += settleFailedAttempt(std::move(out),
                                                 Outcome::Crashed, busy);
                 }
                 o.dispatching = true;
-                events_.scheduleAfter(
-                    std::max<Cycles>(busy, 1), [this, orch] {
+                events_.scheduleAfterOn(
+                    coreDomain(o.core), std::max<Cycles>(busy, 1),
+                    [this, orch] {
                         orchs_[orch].dispatching = false;
                         orchDispatchStep(orch);
                     });
@@ -675,8 +686,9 @@ WorkerServer::orchDispatchStep(unsigned orch)
             Cycles visible =
                 busy + mesh_->latency(o.core, e.core,
                                       noc::MsgKind::Control);
-            events_.scheduleAfter(
-                visible, [this, chosen, r = std::move(out)]() mutable {
+            events_.scheduleAfterOn(
+                coreDomain(e.core), visible,
+                [this, chosen, r = std::move(out)]() mutable {
                     execs_[chosen].queue.push_back(std::move(r));
                     execWake(chosen);
                 });
@@ -687,10 +699,11 @@ WorkerServer::orchDispatchStep(unsigned orch)
     if (!progressed)
         return;
     o.dispatching = true;
-    events_.scheduleAfter(std::max<Cycles>(busy, 1), [this, orch] {
-        orchs_[orch].dispatching = false;
-        orchDispatchStep(orch);
-    });
+    events_.scheduleAfterOn(coreDomain(o.core), std::max<Cycles>(busy, 1),
+                            [this, orch] {
+                                orchs_[orch].dispatching = false;
+                                orchDispatchStep(orch);
+                            });
 }
 
 // --- Executor ---------------------------------------------------------------
@@ -1024,10 +1037,10 @@ WorkerServer::issueChild(Invocation &inv, const CallSpec &call,
     Cycles when = offset + busy +
                   mesh_->latency(core, orchs_[orch].core,
                                  noc::MsgKind::Control);
-    events_.scheduleAfter(when,
-                          [this, orch, c = std::move(child)]() mutable {
-                              orchEnqueue(orch, std::move(c));
-                          });
+    events_.scheduleAfterOn(coreDomain(orchs_[orch].core), when,
+                            [this, orch, c = std::move(child)]() mutable {
+                                orchEnqueue(orch, std::move(c));
+                            });
     return busy;
 }
 
@@ -1524,24 +1537,25 @@ void
 WorkerServer::scheduleExecCompletion(unsigned exec, RequestId id,
                                      Cycles busy)
 {
-    events_.scheduleAfter(std::max<Cycles>(busy, 1),
-                          [this, exec, id] {
-                              ExecState &e = execs_[exec];
-                              e.busy = false;
-                              e.running = 0;
-                              noteExecBusy(false);
-                              auto it = live_.find(id);
-                              if (it != live_.end() &&
-                                  it->second->state == InvState::Done) {
-                                  finishInvocation(*it->second);
-                              } else {
-                                  // Suspended: free the JBSQ slot.
-                                  --e.outstanding;
-                                  markDirty(e);
-                                  orchDispatchStep(execs_[exec].orch);
-                              }
-                              execStep(exec);
-                          });
+    events_.scheduleAfterOn(
+        coreDomain(coreOfExec(exec)), std::max<Cycles>(busy, 1),
+        [this, exec, id] {
+            ExecState &e = execs_[exec];
+            e.busy = false;
+            e.running = 0;
+            noteExecBusy(false);
+            auto it = live_.find(id);
+            if (it != live_.end() &&
+                it->second->state == InvState::Done) {
+                finishInvocation(*it->second);
+            } else {
+                // Suspended: free the JBSQ slot.
+                --e.outstanding;
+                markDirty(e);
+                orchDispatchStep(execs_[exec].orch);
+            }
+            execStep(exec);
+        });
 }
 
 void
@@ -1607,12 +1621,14 @@ WorkerServer::finishInvocation(Invocation &inv)
                         kQueueOpCycles;
         live_.erase(inv.req.id);
         noteLiveInvocations();
-        events_.scheduleAfter(notify, [this, parent, result] {
-            auto it = live_.find(parent);
-            if (it == live_.end())
-                sim::panic("parent vanished before child completion");
-            onChildComplete(*it->second, result);
-        });
+        events_.scheduleAfterOn(coreDomain(parent_core), notify,
+                                [this, parent, result] {
+                                    auto it = live_.find(parent);
+                                    if (it == live_.end())
+                                        sim::panic("parent vanished before "
+                                                   "child completion");
+                                    onChildComplete(*it->second, result);
+                                });
     } else {
         unsigned orch = inv.req.orch;
         OrchState &o = orchs_[orch];
@@ -1620,10 +1636,11 @@ WorkerServer::finishInvocation(Invocation &inv)
                         mesh_->latency(core, o.core,
                                        noc::MsgKind::Control);
         RequestId id = inv.req.id;
-        events_.scheduleAfter(notify, [this, orch, id] {
-            orchs_[orch].completions.push_back(id);
-            orchDispatchStep(orch);
-        });
+        events_.scheduleAfterOn(coreDomain(o.core), notify,
+                                [this, orch, id] {
+                                    orchs_[orch].completions.push_back(id);
+                                    orchDispatchStep(orch);
+                                });
     }
     orchDispatchStep(e.orch);
 }
@@ -1850,8 +1867,9 @@ WorkerServer::settleFailedAttempt(Request req, Outcome outcome,
                               req.span, spanArgs(req));
         req.dispatchCycles = 0;
         unsigned target = req.orch;
-        events_.scheduleAfter(
-            busy + delay, [this, target, r = std::move(req)]() mutable {
+        events_.scheduleAfterOn(
+            coreDomain(orchs_[target].core), busy + delay,
+            [this, target, r = std::move(req)]() mutable {
                 orchEnqueue(target, std::move(r));
             });
         return 0;

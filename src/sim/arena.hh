@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Chunked append-only arena for hot-loop record streams.
+ *
+ * The simulator's record streams (trace spans, profiler samples) grow
+ * monotonically to millions of entries; a plain std::vector pays a
+ * full copy of the stream at every capacity doubling, right in the
+ * event dispatch hot loop. The arena stores records in fixed-size
+ * chunks instead: append is O(1) with no copy ever, addresses are
+ * stable for the arena's lifetime, and clear() parks the chunks for
+ * reuse so a cleared-and-refilled arena allocates nothing.
+ *
+ * Deliberately minimal: append, indexed access, const iteration —
+ * exactly the surface the exporters and analyzers use. No erase, no
+ * insert, no contiguity guarantee across chunk boundaries.
+ */
+
+#ifndef JORD_SIM_ARENA_HH
+#define JORD_SIM_ARENA_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace jord::sim {
+
+template <typename T, std::size_t ChunkSize = std::size_t{1} << 14>
+class Arena
+{
+    static_assert(ChunkSize > 0, "arena chunks must hold records");
+
+  public:
+    /** Records stored (not capacity). */
+    std::size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+
+    T &
+    operator[](std::size_t i)
+    {
+        return chunks_[i / ChunkSize][i % ChunkSize];
+    }
+
+    const T &
+    operator[](std::size_t i) const
+    {
+        return chunks_[i / ChunkSize][i % ChunkSize];
+    }
+
+    /** Append a record; never relocates existing records. */
+    T &
+    push_back(T value)
+    {
+        std::size_t chunk = size_ / ChunkSize;
+        std::size_t slot = size_ % ChunkSize;
+        if (chunk == chunks_.size()) {
+            chunks_.emplace_back();
+            chunks_.back().reserve(ChunkSize);
+        }
+        std::vector<T> &c = chunks_[chunk];
+        ++size_;
+        if (slot < c.size()) {
+            // Parked slot from a previous generation: reuse in place.
+            c[slot] = std::move(value);
+            return c[slot];
+        }
+        c.push_back(std::move(value));
+        return c.back();
+    }
+
+    /** Forget every record but park the chunks for reuse. */
+    void
+    clear()
+    {
+        size_ = 0;
+    }
+
+    /** Const forward iteration (range-for over exporters/analyzers). */
+    class const_iterator
+    {
+      public:
+        const_iterator(const Arena &arena, std::size_t pos)
+            : arena_(&arena), pos_(pos)
+        {
+        }
+
+        const T &operator*() const { return (*arena_)[pos_]; }
+        const T *operator->() const { return &(*arena_)[pos_]; }
+
+        const_iterator &
+        operator++()
+        {
+            ++pos_;
+            return *this;
+        }
+
+        bool
+        operator==(const const_iterator &other) const
+        {
+            return pos_ == other.pos_;
+        }
+
+        bool
+        operator!=(const const_iterator &other) const
+        {
+            return pos_ != other.pos_;
+        }
+
+      private:
+        const Arena *arena_;
+        std::size_t pos_;
+    };
+
+    const_iterator begin() const { return const_iterator(*this, 0); }
+    const_iterator end() const { return const_iterator(*this, size_); }
+
+  private:
+    std::vector<std::vector<T>> chunks_;
+    std::size_t size_ = 0;
+};
+
+} // namespace jord::sim
+
+#endif // JORD_SIM_ARENA_HH

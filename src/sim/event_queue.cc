@@ -4,28 +4,55 @@
 
 namespace jord::sim {
 
+void
+EventQueue::setDomains(unsigned n)
+{
+    if (n == 0)
+        panic("EventQueue::setDomains: need at least one domain");
+    if (size_ != 0)
+        panic("EventQueue::setDomains: cannot repartition %zu pending "
+              "events", size_);
+    domains_.clear();
+    domains_.resize(n);
+}
+
+std::size_t
+EventQueue::domainSize(unsigned domain) const
+{
+    if (domain >= domains_.size())
+        panic("EventQueue: domain %u out of range (have %zu)", domain,
+              domains_.size());
+    return domains_[domain].size();
+}
+
 std::uint64_t
-EventQueue::schedule(Tick when, EventFn fn)
+EventQueue::push(unsigned domain, Tick when, EventFn fn, bool daemon)
 {
     if (when < curTick_)
         panic("scheduling event in the past (when=%llu now=%llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(curTick_));
+    if (domain >= domains_.size())
+        panic("EventQueue: domain %u out of range (have %zu)", domain,
+              domains_.size());
     std::uint64_t handle = nextHandle_++;
-    heap_.push(Entry{when, nextSeq_++, handle, std::move(fn), false});
+    alive_.push_back(kPending);
+    domains_[domain].push(
+        EventRecord{when, nextSeq_++, handle, std::move(fn), daemon});
+    ++size_;
     return handle;
 }
 
 std::uint64_t
-EventQueue::scheduleDaemon(Tick when, EventFn fn)
+EventQueue::scheduleOn(unsigned domain, Tick when, EventFn fn)
 {
-    if (when < curTick_)
-        panic("scheduling event in the past (when=%llu now=%llu)",
-              static_cast<unsigned long long>(when),
-              static_cast<unsigned long long>(curTick_));
-    std::uint64_t handle = nextHandle_++;
-    heap_.push(Entry{when, nextSeq_++, handle, std::move(fn), true});
-    return handle;
+    return push(domain, when, std::move(fn), false);
+}
+
+std::uint64_t
+EventQueue::scheduleDaemonOn(unsigned domain, Tick when, EventFn fn)
+{
+    return push(domain, when, std::move(fn), true);
 }
 
 bool
@@ -40,28 +67,59 @@ EventQueue::forgetCancelled(std::uint64_t handle)
     cancelled_.erase(handle);
 }
 
+void
+EventQueue::retire(std::uint64_t handle)
+{
+    if (handle < aliveBase_)
+        return; // window already slid past (reset() re-bases)
+    alive_[handle - aliveBase_] = kDone;
+    while (!alive_.empty() && alive_.front() == kDone) {
+        alive_.pop_front();
+        ++aliveBase_;
+    }
+}
+
 bool
 EventQueue::cancel(std::uint64_t handle)
 {
-    if (handle == 0 || handle >= nextHandle_ || isCancelled(handle))
+    if (handle == 0 || handle >= nextHandle_ || handle < aliveBase_)
         return false;
-    // We cannot cheaply verify the handle is still in the heap; record it
-    // and filter at dispatch. Handles are unique, so a stale cancel of an
-    // already-fired event leaves a harmless tombstone that is never matched.
+    if (alive_[handle - aliveBase_] != kPending)
+        return false; // already fired or already cancelled
+    retire(handle);
+    // The entry itself stays queued (lazy deletion); dispatch drops it
+    // and purges this tombstone when its tick passes.
     cancelled_.insert(handle);
     return true;
+}
+
+const EventRecord *
+EventQueue::peekNext(unsigned &domain)
+{
+    const EventRecord *best = nullptr;
+    for (std::size_t i = 0; i < domains_.size(); ++i) {
+        const EventRecord *rec = domains_[i].peek();
+        if (rec != nullptr && (best == nullptr || eventBefore(*rec, *best))) {
+            best = rec;
+            domain = static_cast<unsigned>(i);
+        }
+    }
+    return best;
 }
 
 bool
 EventQueue::step()
 {
-    while (!heap_.empty()) {
-        Entry entry = heap_.top();
-        heap_.pop();
+    while (size_ != 0) {
+        unsigned domain = 0;
+        peekNext(domain);
+        EventRecord entry = domains_[domain].pop();
+        --size_;
         if (isCancelled(entry.handle)) {
             forgetCancelled(entry.handle);
             continue;
         }
+        retire(entry.handle);
         curTick_ = entry.when;
         if (!entry.daemon)
             lastWorkTick_ = entry.when;
@@ -83,14 +141,14 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty()) {
-        if (heap_.top().when > limit)
+    while (size_ != 0) {
+        unsigned domain = 0;
+        const EventRecord *next = peekNext(domain);
+        if (next->when > limit)
             break;
         step();
     }
-    if (curTick_ < limit && heap_.empty())
-        curTick_ = limit;
-    else if (curTick_ < limit)
+    if (curTick_ < limit)
         curTick_ = limit;
     return curTick_;
 }
@@ -98,12 +156,16 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::reset()
 {
-    heap_ = Heap();
+    for (CalendarQueue &q : domains_)
+        q.clear();
     curTick_ = 0;
     lastWorkTick_ = 0;
     nextSeq_ = 0;
     numDispatched_ = 0;
+    size_ = 0;
     cancelled_.clear();
+    alive_.clear();
+    aliveBase_ = nextHandle_;
 }
 
 } // namespace jord::sim

@@ -4,23 +4,30 @@
  *
  * Events scheduled at the same tick fire in insertion order (FIFO), which
  * together with the seeded RNG makes every simulation run bit-reproducible.
+ *
+ * Storage is a calendar queue per *domain* (see setDomains()): clients
+ * that partition their simulated machine — worker cores, cluster
+ * servers — tag each event with its owning domain so the pending set
+ * is split into K independent sub-queues. Dispatch still follows the
+ * single global (when, seq) order across all domains, so the
+ * simulated outcome is byte-identical at any K; the split is what the
+ * epoch-parallel engine (par::DomainEngine) and the per-domain
+ * occupancy accessors build on.
  */
 
 #ifndef JORD_SIM_EVENT_QUEUE_HH
 #define JORD_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/calendar_queue.hh"
 #include "sim/types.hh"
 
 namespace jord::sim {
-
-/** Callback type invoked when an event fires. */
-using EventFn = std::function<void()>;
 
 /**
  * A time-ordered queue of callbacks with deterministic tie-breaking.
@@ -32,7 +39,7 @@ using EventFn = std::function<void()>;
 class EventQueue
 {
   public:
-    EventQueue() = default;
+    EventQueue() : domains_(1) {}
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -40,14 +47,34 @@ class EventQueue
     /** Current simulated time in ticks. */
     Tick curTick() const { return curTick_; }
 
-    /** Number of pending events. */
-    std::size_t size() const { return heap_.size(); }
+    /** Number of pending events across all domains. */
+    std::size_t size() const { return size_; }
 
     /** True when no events are pending. */
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return size_ == 0; }
 
     /** Total number of events dispatched so far. */
     std::uint64_t numDispatched() const { return numDispatched_; }
+
+    /**
+     * Partition the pending set into @p n independent sub-queues.
+     *
+     * Must be called while the queue is empty (panics otherwise): a
+     * repartition would have to rehash every pending event. Events
+     * keep firing in global (when, seq) order regardless of n;
+     * reset() preserves the partition.
+     */
+    void setDomains(unsigned n);
+
+    /** Number of event sub-queues (>= 1). */
+    unsigned
+    numDomains() const
+    {
+        return static_cast<unsigned>(domains_.size());
+    }
+
+    /** Pending events in one domain's sub-queue. */
+    std::size_t domainSize(unsigned domain) const;
 
     /**
      * Schedule a callback at an absolute tick.
@@ -56,7 +83,11 @@ class EventQueue
      * @param fn Callback to invoke.
      * @return A handle that can be passed to cancel().
      */
-    std::uint64_t schedule(Tick when, EventFn fn);
+    std::uint64_t
+    schedule(Tick when, EventFn fn)
+    {
+        return scheduleOn(0, when, std::move(fn));
+    }
 
     /** Schedule a callback @p delay ticks after the current time. */
     std::uint64_t
@@ -65,19 +96,36 @@ class EventQueue
         return schedule(curTick_ + delay, std::move(fn));
     }
 
+    /** schedule() into a specific domain's sub-queue. */
+    std::uint64_t scheduleOn(unsigned domain, Tick when, EventFn fn);
+
+    /** scheduleAfter() into a specific domain's sub-queue. */
+    std::uint64_t
+    scheduleAfterOn(unsigned domain, Cycles delay, EventFn fn)
+    {
+        return scheduleOn(domain, curTick_ + delay, std::move(fn));
+    }
+
     /**
      * Schedule a *daemon* callback: observer events (the sampling
      * profiler) that must not count as simulated work. Daemon events
      * fire like regular events but do not advance lastWorkTick(), so
      * a trailing daemon event cannot stretch a run's measured window.
      */
-    std::uint64_t scheduleDaemon(Tick when, EventFn fn);
+    std::uint64_t
+    scheduleDaemon(Tick when, EventFn fn)
+    {
+        return scheduleDaemonOn(0, when, std::move(fn));
+    }
 
     std::uint64_t
     scheduleDaemonAfter(Cycles delay, EventFn fn)
     {
         return scheduleDaemon(curTick_ + delay, std::move(fn));
     }
+
+    /** scheduleDaemon() into a specific domain's sub-queue. */
+    std::uint64_t scheduleDaemonOn(unsigned domain, Tick when, EventFn fn);
 
     /** Tick of the most recently dispatched non-daemon event. */
     Tick lastWorkTick() const { return lastWorkTick_; }
@@ -86,9 +134,19 @@ class EventQueue
      * Cancel a previously scheduled event.
      *
      * @retval true if the event was pending and is now cancelled.
-     * @retval false if it already fired or was already cancelled.
+     * @retval false if it already fired, was already cancelled, or
+     *     never existed. Stale handles are detected exactly (a dense
+     *     liveness window tracks every in-flight handle), so a stale
+     *     cancel can no longer plant a permanent tombstone.
      */
     bool cancel(std::uint64_t handle);
+
+    /**
+     * Cancelled-but-not-yet-popped entries (lazy-deletion tombstones).
+     * Bounded by the pending-event count: each tombstone is purged
+     * when its entry's tick passes. Exposed for the regression test.
+     */
+    std::size_t numTombstones() const { return cancelled_.size(); }
 
     /**
      * Dispatch the single next event.
@@ -111,38 +169,39 @@ class EventQueue
     void reset();
 
   private:
-    struct Entry {
-        Tick when;
-        std::uint64_t seq;
-        std::uint64_t handle;
-        EventFn fn;
-        bool daemon = false;
+    /** Liveness-window slot states (indexed by handle - aliveBase_). */
+    static constexpr unsigned char kPending = 1;
+    static constexpr unsigned char kDone = 0;
 
-        bool
-        operator>(const Entry &other) const
-        {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
-        }
-    };
+    std::uint64_t push(unsigned domain, Tick when, EventFn fn, bool daemon);
+    /** Min (when, seq) entry across domains, or nullptr when empty. */
+    const EventRecord *peekNext(unsigned &domain);
+    /** Mark a handle fired/cancelled and trim the liveness window. */
+    void retire(std::uint64_t handle);
 
-    using Heap = std::priority_queue<Entry, std::vector<Entry>,
-                                     std::greater<Entry>>;
-
-    Heap heap_;
+    std::vector<CalendarQueue> domains_;
     Tick curTick_ = 0;
     Tick lastWorkTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t nextHandle_ = 1;
     std::uint64_t numDispatched_ = 0;
+    std::size_t size_ = 0;
     /**
-     * Handles cancelled while still in the heap (lazy deletion).
-     * A hash set keeps cancel() and the dispatch-time check O(1):
-     * hedged cluster requests cancel one event per request, which
-     * made the previous linear-scan list a hot path.
+     * Handles cancelled while still queued (lazy deletion). The
+     * dense liveness window below guarantees only *pending* handles
+     * enter this set, and dispatch purges each tombstone when its
+     * entry pops at its tick — so the set is bounded by the in-flight
+     * cancelled count instead of growing for the whole run.
      */
     std::unordered_set<std::uint64_t> cancelled_;
+    /**
+     * Sliding liveness window: slot (h - aliveBase_) says whether
+     * handle h is still queued. Handles are issued sequentially, so a
+     * deque indexed by handle is O(1) and compacts itself as the
+     * oldest handles retire.
+     */
+    std::deque<unsigned char> alive_;
+    std::uint64_t aliveBase_ = 1;
 
     bool isCancelled(std::uint64_t handle) const;
     void forgetCancelled(std::uint64_t handle);

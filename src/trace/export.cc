@@ -78,7 +78,7 @@ writeChromeTrace(const Tracer &tracer, std::ostream &out)
     }
 
     std::size_t dropped = 0;
-    const std::vector<SpanRecord> &spans = tracer.spans();
+    const auto &spans = tracer.spans();
     for (std::size_t i = 0; i < spans.size(); ++i) {
         const SpanRecord &rec = spans[i];
         if (rec.open) {

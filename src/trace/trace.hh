@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "sim/arena.hh"
 #include "sim/types.hh"
 
 namespace jord::trace {
@@ -71,7 +72,7 @@ struct SpanArgs {
     bool measured = false;
 };
 
-/** One recorded span. Ids are indices + 1 into the span vector. */
+/** One recorded span. Ids are indices + 1 into the span arena. */
 struct SpanRecord {
     SpanId parent = 0;
     std::uint32_t name = 0; ///< interned name index
@@ -147,7 +148,10 @@ class Tracer
 
     // --- Access -----------------------------------------------------
 
-    const std::vector<SpanRecord> &spans() const { return spans_; }
+    /** Recorded spans, in record order. Chunked arena storage: hot
+     * instrumentation sites never pay a stream-wide reallocation copy,
+     * and clear() parks the chunks for the next run. */
+    const sim::Arena<SpanRecord> &spans() const { return spans_; }
     const std::string &name(std::uint32_t id) const { return names_[id]; }
     const std::string &spanName(const SpanRecord &rec) const
     {
@@ -183,7 +187,7 @@ class Tracer
   private:
     double freqGhz_;
     std::function<sim::Tick()> clock_;
-    std::vector<SpanRecord> spans_;
+    sim::Arena<SpanRecord> spans_;
     std::vector<std::string> names_;
     std::unordered_map<std::string, std::uint32_t> nameIds_;
     std::map<std::string, std::string> meta_;

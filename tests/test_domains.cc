@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for intra-run parallel domain execution (issue 10): the
+ * epoch-parallel DomainEngine (byte-identity across domain counts and
+ * thread pools, the lookahead contract, daemon events, empty domains)
+ * and the worker's domain-partitioned EventQueue (golden byte-identity
+ * sweep over --domains on a nested-ccall workload).
+ *
+ * This binary is part of the tsan CI job's set: the DomainEngine tests
+ * here drive real fork-join epochs over a multi-thread pool, which is
+ * exactly the surface the engine's tsan-clean claim covers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "par/domains.hh"
+#include "par/par.hh"
+#include "runtime/worker.hh"
+#include "sim/types.hh"
+
+namespace {
+
+using namespace jord;
+using par::DomainEngine;
+using par::ThreadPool;
+using sim::Tick;
+
+/**
+ * A nested-ccall-shaped workload confined to tiles: every tile owns a
+ * running hash and an event log; events mix the tile hash, then fan
+ * out children — same-tile at short delays, cross-tile at delays no
+ * shorter than the lookahead (so the contract holds under *any*
+ * partition of tiles into domains). Because state is per-tile, the
+ * observable outcome must be bitwise identical for every domain count
+ * and thread count.
+ */
+struct TileWorkload {
+    static constexpr Tick kLookahead = 12;
+
+    unsigned numTiles;
+    unsigned domains;
+    std::vector<std::uint64_t> hash;
+    std::vector<std::vector<Tick>> log;
+
+    explicit TileWorkload(unsigned tiles, unsigned k)
+        : numTiles(tiles), domains(k), hash(tiles, 0x9e3779b9u),
+          log(tiles)
+    {
+    }
+
+    unsigned
+    domainOf(unsigned tile) const
+    {
+        return tile * domains / numTiles;
+    }
+
+    void
+    event(DomainEngine::Context &ctx, unsigned tile, unsigned depth)
+    {
+        std::uint64_t &h = hash[tile];
+        h = (h ^ (ctx.now() * 0x100000001b3ull)) * 1099511628211ull;
+        log[tile].push_back(ctx.now());
+        if (depth == 0)
+            return;
+        // Same-tile child: short delay, arbitrary relative to horizon.
+        ctx.scheduleAfter(ctx.domain(), 1 + (h % 7),
+                          [this, tile, depth](DomainEngine::Context &c) {
+                              event(c, tile, depth - 1);
+                          });
+        // Cross-tile child (a nested ccall to a remote tile): delay of
+        // at least the lookahead, legal whatever domain the target
+        // tile falls into.
+        unsigned target =
+            static_cast<unsigned>(h >> 8) % numTiles;
+        ctx.scheduleAfter(domainOf(target), kLookahead + (h % 5),
+                          [this, target, depth](DomainEngine::Context &c) {
+                              event(c, target, depth - 1);
+                          });
+    }
+};
+
+struct EngineOutcome {
+    std::vector<std::uint64_t> hash;
+    std::vector<std::vector<Tick>> log;
+    std::uint64_t dispatched;
+    Tick curTick;
+    Tick lastWorkTick;
+};
+
+EngineOutcome
+driveTiles(unsigned tiles, unsigned domains, unsigned threads)
+{
+    TileWorkload wl(tiles, domains);
+    DomainEngine::Config cfg;
+    cfg.domains = domains;
+    cfg.lookahead = TileWorkload::kLookahead;
+    ThreadPool pool(threads);
+    DomainEngine eng(cfg, threads > 1 ? &pool : nullptr);
+    for (unsigned t = 0; t < tiles; ++t) {
+        unsigned tile = t;
+        eng.schedule(wl.domainOf(tile), 5 + tile,
+                     [&wl, tile](DomainEngine::Context &c) {
+                         wl.event(c, tile, 6);
+                     });
+    }
+    eng.run();
+    return EngineOutcome{wl.hash, wl.log, eng.numDispatched(),
+                         eng.curTick(), eng.lastWorkTick()};
+}
+
+TEST(DomainEngine, ByteIdenticalAcrossDomainCountsAndThreads)
+{
+    // K = 1 serial is the reference; every other (K, threads) combo
+    // must reproduce it exactly — the tentpole's identity claim.
+    EngineOutcome ref = driveTiles(16, 1, 1);
+    EXPECT_GT(ref.dispatched, 100u);
+    for (unsigned domains : {2u, 3u, 8u}) {
+        for (unsigned threads : {1u, 4u}) {
+            EngineOutcome got = driveTiles(16, domains, threads);
+            EXPECT_EQ(got.hash, ref.hash)
+                << "domains=" << domains << " threads=" << threads;
+            EXPECT_EQ(got.log, ref.log)
+                << "domains=" << domains << " threads=" << threads;
+            EXPECT_EQ(got.dispatched, ref.dispatched);
+            EXPECT_EQ(got.curTick, ref.curTick);
+            EXPECT_EQ(got.lastWorkTick, ref.lastWorkTick);
+        }
+    }
+}
+
+TEST(DomainEngine, CrossDomainEventExactlyAtLookaheadHorizon)
+{
+    // when == now + lookahead is the boundary the conservative epoch
+    // depends on: legal, deferred past the bearing epoch's barrier,
+    // and ordered after every event below the horizon.
+    DomainEngine::Config cfg;
+    cfg.domains = 2;
+    cfg.lookahead = 10;
+    DomainEngine eng(cfg, nullptr);
+    std::vector<int> order;
+    eng.schedule(0, 0, [&order](DomainEngine::Context &ctx) {
+        order.push_back(0);
+        ctx.schedule(1, ctx.now() + 10,
+                     [&order](DomainEngine::Context &) {
+                         order.push_back(2);
+                     });
+    });
+    eng.schedule(1, 9, [&order](DomainEngine::Context &) {
+        order.push_back(1);
+    });
+    eng.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(eng.curTick(), 10u);
+    EXPECT_GE(eng.numEpochs(), 2u);
+}
+
+TEST(DomainEngine, DaemonEventsDoNotAdvanceLastWorkTick)
+{
+    DomainEngine::Config cfg;
+    cfg.domains = 3;
+    cfg.lookahead = 10;
+    DomainEngine eng(cfg, nullptr);
+    eng.schedule(0, 4, [](DomainEngine::Context &ctx) {
+        // In-run daemon into another domain, beyond the lookahead.
+        ctx.scheduleDaemon(2, ctx.now() + 50,
+                           [](DomainEngine::Context &) {});
+    });
+    eng.scheduleDaemon(1, 80, [](DomainEngine::Context &) {});
+    eng.run();
+    EXPECT_EQ(eng.numDispatched(), 3u);
+    EXPECT_EQ(eng.curTick(), 80u);
+    EXPECT_EQ(eng.lastWorkTick(), 4u);
+}
+
+TEST(DomainEngine, ZeroEventDomainIsHarmless)
+{
+    DomainEngine::Config cfg;
+    cfg.domains = 4;
+    cfg.lookahead = 5;
+    ThreadPool pool(4);
+    DomainEngine eng(cfg, &pool);
+    int fired = 0;
+    // Only domain 2 ever has events; 0, 1 and 3 stay empty through
+    // every epoch.
+    eng.schedule(2, 1, [&fired](DomainEngine::Context &ctx) {
+        ++fired;
+        ctx.scheduleAfter(ctx.domain(), 3,
+                          [&fired](DomainEngine::Context &) {
+                              ++fired;
+                          });
+    });
+    EXPECT_EQ(eng.run(), 4u);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(DomainEngineDeathTest, CrossDomainScheduleInsideLookaheadPanics)
+{
+    DomainEngine::Config cfg;
+    cfg.domains = 2;
+    cfg.lookahead = 10;
+    DomainEngine eng(cfg, nullptr);
+    eng.schedule(0, 0, [](DomainEngine::Context &ctx) {
+        // One tick short of the horizon: the conservative contract is
+        // violated and the engine must refuse to proceed.
+        ctx.schedule(1, ctx.now() + 9, [](DomainEngine::Context &) {});
+    });
+    EXPECT_DEATH(eng.run(), "lookahead");
+}
+
+// --- Worker --domains golden byte-identity ---------------------------------
+
+runtime::FunctionRegistry
+nestedCcallRegistry(runtime::FunctionId &parent_out)
+{
+    runtime::FunctionRegistry reg;
+    runtime::FunctionSpec leaf;
+    leaf.name = "leaf";
+    leaf.execMeanUs = 0.5;
+    leaf.execCv = 0.1;
+    runtime::FunctionId leaf_id = reg.add(leaf);
+
+    runtime::FunctionSpec parent;
+    parent.name = "parent";
+    parent.execMeanUs = 1.0;
+    parent.execCv = 0.1;
+    parent.calls = {runtime::CallSpec{leaf_id, 512, false},
+                    runtime::CallSpec{leaf_id, 512, true}};
+    parent_out = reg.add(parent);
+    return reg;
+}
+
+runtime::RunResult
+runNestedWithDomains(unsigned domains)
+{
+    runtime::FunctionId parent = 0;
+    runtime::FunctionRegistry reg = nestedCcallRegistry(parent);
+    runtime::WorkerConfig cfg;
+    cfg.numDomains = domains;
+    runtime::WorkerServer worker(cfg, reg);
+    return worker.run(0.5, 600, {{parent, 1.0}});
+}
+
+TEST(WorkerDomains, GoldenByteIdentityAcrossDomainSweep)
+{
+    // The EventQueue keeps one global deterministic dispatch order no
+    // matter how its pending set is partitioned, so every statistic a
+    // run produces — including exact doubles — must be bitwise equal
+    // across the --domains sweep.
+    runtime::RunResult ref = runNestedWithDomains(1);
+    EXPECT_GT(ref.completedRequests, 0u);
+    EXPECT_EQ(ref.invocations, 3 * ref.completedRequests);
+    for (unsigned domains : {2u, 3u, 8u}) {
+        runtime::RunResult got = runNestedWithDomains(domains);
+        EXPECT_EQ(got.completedRequests, ref.completedRequests)
+            << "domains=" << domains;
+        EXPECT_EQ(got.invocations, ref.invocations);
+        EXPECT_EQ(got.achievedMrps, ref.achievedMrps);
+        EXPECT_EQ(got.latencyUs.mean(), ref.latencyUs.mean());
+        EXPECT_EQ(got.latencyUs.p99(), ref.latencyUs.p99());
+        EXPECT_EQ(got.serviceUs.mean(), ref.serviceUs.mean());
+        EXPECT_EQ(got.dispatchNs.mean(), ref.dispatchNs.mean());
+        EXPECT_EQ(got.totals.total(), ref.totals.total());
+        EXPECT_EQ(got.executorUtilization, ref.executorUtilization);
+    }
+}
+
+TEST(WorkerDomainsDeathTest, RejectsMoreDomainsThanCores)
+{
+    runtime::FunctionId parent = 0;
+    runtime::FunctionRegistry reg = nestedCcallRegistry(parent);
+    runtime::WorkerConfig cfg;
+    cfg.numDomains = cfg.machine.numCores + 1;
+    EXPECT_DEATH(runtime::WorkerServer(cfg, reg), "numDomains");
+}
+
+} // namespace

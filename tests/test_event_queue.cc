@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.hh"
@@ -151,6 +154,186 @@ TEST(EventQueueDeathTest, SchedulingInThePastPanics)
     q.schedule(100, [] {});
     q.step();
     EXPECT_DEATH(q.schedule(50, [] {}), "past");
+}
+
+TEST(EventQueue, CancelOfFiredHandleIsRejected)
+{
+    // Regression (issue 10): cancelling an already-fired handle used to
+    // return true and plant a tombstone that was never purged.
+    EventQueue q;
+    auto handle = q.schedule(10, [] {});
+    q.run();
+    EXPECT_FALSE(q.cancel(handle));
+    EXPECT_EQ(q.numTombstones(), 0u);
+}
+
+TEST(EventQueue, TombstonesArePurgedWhenTheirTickPasses)
+{
+    EventQueue q;
+    std::vector<std::uint64_t> handles;
+    for (int i = 0; i < 100; ++i)
+        handles.push_back(q.schedule(static_cast<Tick>(10 + i), [] {}));
+    for (std::uint64_t h : handles)
+        EXPECT_TRUE(q.cancel(h));
+    EXPECT_EQ(q.numTombstones(), 100u);
+    q.run();
+    EXPECT_EQ(q.numTombstones(), 0u);
+    EXPECT_EQ(q.numDispatched(), 0u);
+}
+
+TEST(EventQueue, TombstoneSetStaysBoundedUnderChurn)
+{
+    // Hedged cluster runs schedule-then-cancel constantly; the set must
+    // track only in-flight cancellations, not the whole run's history.
+    EventQueue q;
+    for (int round = 0; round < 1000; ++round) {
+        auto keep = q.schedule(q.curTick() + 1, [] {});
+        auto drop = q.schedule(q.curTick() + 2, [] {});
+        EXPECT_TRUE(q.cancel(drop));
+        // Stale re-cancel of a long-gone handle must stay rejected.
+        if (keep > 10)
+            EXPECT_FALSE(q.cancel(keep - 10));
+        while (!q.empty())
+            q.step();
+        EXPECT_LE(q.numTombstones(), 1u);
+    }
+    EXPECT_EQ(q.numTombstones(), 0u);
+}
+
+TEST(EventQueue, CalendarStorageMatchesReferenceOrder)
+{
+    // Deterministic pseudo-random schedule with wide tick spans, dense
+    // same-tick ties, and in-callback reschedules: the calendar-queue
+    // storage must reproduce exact (when, insertion) dispatch order.
+    EventQueue q;
+    std::vector<std::pair<Tick, int>> fired;
+    std::uint64_t lcg = 12345;
+    auto next = [&lcg](std::uint64_t mod) {
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        return (lcg >> 33) % mod;
+    };
+    std::vector<std::pair<Tick, int>> expected;
+    int id = 0;
+    for (int i = 0; i < 500; ++i) {
+        // Mix near ticks, far ticks, and exact ties.
+        Tick when = (i % 3 == 0) ? next(50)
+                    : (i % 3 == 1) ? next(100000)
+                                   : 42;
+        int tag = id++;
+        expected.emplace_back(when, tag);
+        q.schedule(when, [&fired, &q, when, tag] {
+            fired.emplace_back(when, tag);
+            EXPECT_EQ(q.curTick(), when);
+        });
+    }
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    q.run();
+    EXPECT_EQ(fired, expected);
+}
+
+TEST(EventQueue, DomainsPreserveGlobalDispatchOrder)
+{
+    // The same schedule sprayed across 4 sub-queues must fire in the
+    // identical global (when, insertion) order as a 1-domain queue.
+    auto drive = [](unsigned domains) {
+        EventQueue q;
+        q.setDomains(domains);
+        std::vector<int> order;
+        for (int i = 0; i < 200; ++i) {
+            Tick when = static_cast<Tick>((i * 7) % 40);
+            q.scheduleOn(static_cast<unsigned>(i) % domains, when,
+                         [&order, i] { order.push_back(i); });
+        }
+        q.run();
+        return order;
+    };
+    EXPECT_EQ(drive(1), drive(4));
+    EXPECT_EQ(drive(1), drive(7));
+}
+
+TEST(EventQueue, CrossDomainPushBehindARolledOverCalendarYear)
+{
+    // A domain holding only far-future events rolls its calendar year
+    // forward past global time on the first peek. A cross-domain push
+    // that then lands *before* the rolled year's start must still be
+    // stored (near heap) and fire in global order — the bucket index
+    // computation must not underflow (regression: crashed the worker
+    // --domains sweep).
+    EventQueue q;
+    q.setDomains(2);
+    std::vector<Tick> fired;
+    q.scheduleOn(1, 1000000, [&] { fired.push_back(q.curTick()); });
+    q.scheduleOn(0, 10, [&] {
+        fired.push_back(q.curTick());
+        // Domain 1's calendar has already re-based its year at tick
+        // 1000000; this push lands far behind that.
+        q.scheduleOn(1, 100, [&] { fired.push_back(q.curTick()); });
+    });
+    q.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 100, 1000000}));
+}
+
+TEST(EventQueue, DomainSizeTracksPerDomainOccupancy)
+{
+    EventQueue q;
+    q.setDomains(3);
+    q.scheduleOn(0, 10, [] {});
+    q.scheduleOn(2, 10, [] {});
+    q.scheduleOn(2, 20, [] {});
+    EXPECT_EQ(q.domainSize(0), 1u);
+    EXPECT_EQ(q.domainSize(1), 0u); // zero-event domain is legal
+    EXPECT_EQ(q.domainSize(2), 2u);
+    EXPECT_EQ(q.size(), 3u);
+    q.run();
+    EXPECT_EQ(q.domainSize(2), 0u);
+}
+
+TEST(EventQueue, ResetPreservesDomainPartition)
+{
+    EventQueue q;
+    q.setDomains(4);
+    auto stale = q.scheduleOn(3, 10, [] {});
+    q.reset();
+    EXPECT_EQ(q.numDomains(), 4u);
+    EXPECT_TRUE(q.empty());
+    // Handles from before the reset are stale, not cancellable.
+    EXPECT_FALSE(q.cancel(stale));
+    bool fired = false;
+    q.scheduleOn(3, 5, [&] { fired = true; });
+    q.run();
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, DaemonEventsWorkUnderDomains)
+{
+    EventQueue q;
+    q.setDomains(2);
+    std::vector<int> order;
+    q.scheduleDaemonOn(1, 30, [&] { order.push_back(99); });
+    q.scheduleOn(0, 10, [&] { order.push_back(0); });
+    q.scheduleOn(1, 20, [&] { order.push_back(1); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 99}));
+    // The trailing daemon must not stretch the measured work window.
+    EXPECT_EQ(q.lastWorkTick(), 20u);
+    EXPECT_EQ(q.curTick(), 30u);
+}
+
+TEST(EventQueueDeathTest, SetDomainsOnNonEmptyQueuePanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    EXPECT_DEATH(q.setDomains(2), "repartition");
+}
+
+TEST(EventQueueDeathTest, ScheduleOnBogusDomainPanics)
+{
+    EventQueue q;
+    q.setDomains(2);
+    EXPECT_DEATH(q.scheduleOn(2, 10, [] {}), "out of range");
 }
 
 } // namespace
